@@ -1,0 +1,109 @@
+//! Host-parallel docking: real threads, real work stealing.
+//!
+//! The dispatch experiments (U1) study load balancing on the *simulated*
+//! cluster; this module demonstrates the same principle on the host
+//! machine: the campaign's ligands are scored on worker threads pulling
+//! from a shared [`crossbeam::deque::Injector`], so a thread that drew
+//! small molecules immediately steals the next task instead of idling —
+//! dynamic self-scheduling in the flesh.
+
+use super::molecule::{Ligand, Pocket};
+use super::pipeline::DockingResult;
+use super::scoring::dock_ligand;
+use crossbeam::deque::{Injector, Steal};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scores `library` against `pocket` on `workers` threads with dynamic
+/// self-scheduling. Results are identical to the sequential
+/// [`DockingCampaign::run`](super::pipeline::DockingCampaign::run) with
+/// the same seed (per-ligand RNG streams are independent of scheduling).
+///
+/// # Panics
+///
+/// Panics if `workers` or `poses` is zero.
+pub fn run_parallel(
+    library: &[Ligand],
+    pocket: &Pocket,
+    poses: usize,
+    seed: u64,
+    workers: usize,
+) -> DockingResult {
+    assert!(workers > 0, "need at least one worker");
+    assert!(poses > 0, "need at least one pose");
+    let injector: Injector<&Ligand> = Injector::new();
+    for ligand in library {
+        injector.push(ligand);
+    }
+    let results = Mutex::new(Vec::with_capacity(library.len()));
+    let total = Mutex::new(0u64);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let ligand = match injector.steal() {
+                    Steal::Success(l) => l,
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                };
+                let mut rng = StdRng::seed_from_u64(seed ^ (ligand.id.wrapping_mul(0x9e37_79b9)));
+                let score = dock_ligand(ligand, pocket, poses, &mut rng);
+                *total.lock() += score.interactions;
+                results.lock().push(score);
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+
+    let mut scores = results.into_inner();
+    scores.sort_by_key(|s| s.ligand_id);
+    DockingResult {
+        scores,
+        total_interactions: total.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docking::molecule::{generate_library, generate_pocket};
+    use crate::docking::pipeline::DockingCampaign;
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let pocket = generate_pocket(20, &mut rng);
+        let library = generate_library(60, 20, &mut rng);
+        let sequential = DockingCampaign::new(library.clone(), pocket.clone(), 12, 77).run();
+        for workers in [1, 2, 4] {
+            let parallel = run_parallel(&library, &pocket, 12, 77, workers);
+            assert_eq!(parallel.scores.len(), sequential.scores.len());
+            assert_eq!(parallel.total_interactions, sequential.total_interactions);
+            for (a, b) in parallel.scores.iter().zip(&sequential.scores) {
+                assert_eq!(a.ligand_id, b.ligand_id);
+                assert_eq!(a.best_score, b.best_score, "ligand {}", a.ligand_id);
+                assert_eq!(a.best_pose, b.best_pose);
+            }
+        }
+    }
+
+    #[test]
+    fn every_ligand_scored_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pocket = generate_pocket(15, &mut rng);
+        let library = generate_library(101, 18, &mut rng);
+        let result = run_parallel(&library, &pocket, 8, 1, 3);
+        let mut ids: Vec<u64> = result.scores.iter().map(|s| s.ligand_id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker")]
+    fn zero_workers_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pocket = generate_pocket(5, &mut rng);
+        run_parallel(&[], &pocket, 4, 0, 0);
+    }
+}

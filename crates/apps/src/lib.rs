@@ -1,0 +1,22 @@
+//! # antarex-apps — the two ANTAREX use cases
+//!
+//! The project "is driven by two use cases taken from highly relevant HPC
+//! application scenarios" (Silvano et al., DATE 2016, §VII):
+//!
+//! * [`docking`] — **Use Case 1: computer-accelerated drug discovery.**
+//!   A synthetic LiGen-like pipeline: a generated ligand library is
+//!   geometrically docked against a pocket; per-ligand cost varies wildly
+//!   (the paper's "unpredictable imbalances"), and the number of sampled
+//!   poses is the quality/throughput software knob.
+//! * [`nav`] — **Use Case 2: self-adaptive navigation system.** A
+//!   synthetic road network with time-dependent congestion serves routing
+//!   requests; the number of alternative routes explored is the
+//!   quality/latency software knob the server adapts under load to hold
+//!   its SLA.
+//!
+//! Both applications expose their knobs and metrics in the shapes the
+//! `antarex-tuner` machinery consumes, and their computational demand in
+//! the shapes the `antarex-sim` platform executes.
+
+pub mod docking;
+pub mod nav;

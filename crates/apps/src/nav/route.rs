@@ -1,0 +1,301 @@
+//! Route planning: Dijkstra, A*, and penalty-based alternatives.
+
+use super::graph::RoadNetwork;
+use super::traffic::TrafficModel;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A computed route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Node sequence from origin to destination.
+    pub nodes: Vec<usize>,
+    /// Congested travel time, seconds.
+    pub travel_time_s: f64,
+    /// Search effort: priority-queue pops performed (the latency driver).
+    pub expanded: usize,
+}
+
+#[derive(Debug, PartialEq)]
+struct QueueEntry {
+    node: usize,
+    cost: f64,
+    estimate: f64,
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.estimate.total_cmp(&self.estimate)
+    }
+}
+
+/// Congested cost of an edge at the given departure time.
+fn edge_cost(
+    network: &RoadNetwork,
+    traffic: &TrafficModel,
+    from: usize,
+    edge_index: usize,
+    time_of_day_s: f64,
+    penalties: Option<&[(usize, usize)]>,
+) -> f64 {
+    let edge = network.edges(from)[edge_index];
+    let mut cost =
+        edge.base_time_s * traffic.multiplier(from, edge_index, edge.highway, time_of_day_s);
+    if let Some(penalized) = penalties {
+        if penalized.contains(&(from, edge_index)) {
+            cost *= 4.0;
+        }
+    }
+    cost
+}
+
+/// A* shortest path under the current traffic (Dijkstra when
+/// `use_heuristic` is false). Departure time is held constant during the
+/// search — adequate for the sub-hour urban routes we serve.
+///
+/// Returns `None` if the destination is unreachable.
+pub fn shortest_path(
+    network: &RoadNetwork,
+    traffic: &TrafficModel,
+    origin: usize,
+    destination: usize,
+    time_of_day_s: f64,
+    use_heuristic: bool,
+) -> Option<Route> {
+    shortest_path_penalized(
+        network,
+        traffic,
+        origin,
+        destination,
+        time_of_day_s,
+        use_heuristic,
+        None,
+    )
+}
+
+fn shortest_path_penalized(
+    network: &RoadNetwork,
+    traffic: &TrafficModel,
+    origin: usize,
+    destination: usize,
+    time_of_day_s: f64,
+    use_heuristic: bool,
+    penalties: Option<&[(usize, usize)]>,
+) -> Option<Route> {
+    let n = network.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[origin] = 0.0;
+    heap.push(QueueEntry {
+        node: origin,
+        cost: 0.0,
+        estimate: 0.0,
+    });
+    let mut expanded = 0;
+    while let Some(entry) = heap.pop() {
+        if settled[entry.node] {
+            continue;
+        }
+        settled[entry.node] = true;
+        expanded += 1;
+        if entry.node == destination {
+            let mut nodes = vec![destination];
+            let mut cursor = destination;
+            while cursor != origin {
+                cursor = prev[cursor];
+                nodes.push(cursor);
+            }
+            nodes.reverse();
+            return Some(Route {
+                nodes,
+                travel_time_s: entry.cost,
+                expanded,
+            });
+        }
+        for (edge_index, edge) in network.edges(entry.node).iter().enumerate() {
+            let cost = entry.cost
+                + edge_cost(
+                    network,
+                    traffic,
+                    entry.node,
+                    edge_index,
+                    time_of_day_s,
+                    penalties,
+                );
+            if cost < dist[edge.to] {
+                dist[edge.to] = cost;
+                prev[edge.to] = entry.node;
+                let h = if use_heuristic {
+                    network.heuristic_s(edge.to, destination)
+                } else {
+                    0.0
+                };
+                heap.push(QueueEntry {
+                    node: edge.to,
+                    cost,
+                    estimate: cost + h,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Computes up to `k` alternative routes by iterative edge penalization:
+/// after each route is found, its edges are penalized and the search
+/// repeats, yielding progressively different paths. Returns the routes in
+/// discovery order (first = fastest). Search effort — and therefore
+/// request latency — grows linearly with `k`: this is the navigation
+/// server's quality knob.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn alternative_routes(
+    network: &RoadNetwork,
+    traffic: &TrafficModel,
+    origin: usize,
+    destination: usize,
+    time_of_day_s: f64,
+    k: usize,
+) -> Vec<Route> {
+    assert!(k > 0, "need at least one route");
+    let mut routes: Vec<Route> = Vec::new();
+    let mut penalties: Vec<(usize, usize)> = Vec::new();
+    for _ in 0..k {
+        let found = shortest_path_penalized(
+            network,
+            traffic,
+            origin,
+            destination,
+            time_of_day_s,
+            true,
+            Some(&penalties),
+        );
+        let Some(route) = found else { break };
+        // penalize this route's edges for the next iteration
+        for pair in route.nodes.windows(2) {
+            if let Some(edge_index) = network.edges(pair[0]).iter().position(|e| e.to == pair[1]) {
+                penalties.push((pair[0], edge_index));
+            }
+        }
+        // recompute the true (unpenalized) cost of the found path
+        let mut true_cost = 0.0;
+        for pair in route.nodes.windows(2) {
+            let edge_index = network
+                .edges(pair[0])
+                .iter()
+                .position(|e| e.to == pair[1])
+                .expect("edge exists");
+            true_cost += edge_cost(network, traffic, pair[0], edge_index, time_of_day_s, None);
+        }
+        let mut route = route;
+        route.travel_time_s = true_cost;
+        if routes.iter().all(|r: &Route| r.nodes != route.nodes) {
+            routes.push(route);
+        }
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (RoadNetwork, TrafficModel) {
+        let mut rng = StdRng::seed_from_u64(10);
+        (
+            RoadNetwork::city_grid(16, &mut rng),
+            TrafficModel::weekday(),
+        )
+    }
+
+    #[test]
+    fn dijkstra_and_astar_agree_on_cost() {
+        let (network, traffic) = setup();
+        let (a, b) = (0, network.len() - 1);
+        let dij = shortest_path(&network, &traffic, a, b, 3600.0, false).unwrap();
+        let astar = shortest_path(&network, &traffic, a, b, 3600.0, true).unwrap();
+        assert!(
+            (dij.travel_time_s - astar.travel_time_s).abs() < 1e-6,
+            "dijkstra {} vs a* {}",
+            dij.travel_time_s,
+            astar.travel_time_s
+        );
+        // a* expands fewer nodes
+        assert!(astar.expanded <= dij.expanded);
+    }
+
+    #[test]
+    fn routes_are_connected_paths() {
+        let (network, traffic) = setup();
+        let route = shortest_path(&network, &traffic, 5, 200, 0.0, true).unwrap();
+        assert_eq!(*route.nodes.first().unwrap(), 5);
+        assert_eq!(*route.nodes.last().unwrap(), 200);
+        for pair in route.nodes.windows(2) {
+            assert!(
+                network.edges(pair[0]).iter().any(|e| e.to == pair[1]),
+                "missing edge {} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn rush_hour_routes_are_slower() {
+        let (network, traffic) = setup();
+        let (a, b) = (0, network.len() - 1);
+        let night = shortest_path(&network, &traffic, a, b, 3.0 * 3600.0, true).unwrap();
+        let rush = shortest_path(&network, &traffic, a, b, 8.0 * 3600.0, true).unwrap();
+        assert!(rush.travel_time_s > night.travel_time_s * 1.3);
+    }
+
+    #[test]
+    fn alternatives_are_distinct_and_ranked() {
+        let (network, traffic) = setup();
+        let routes = alternative_routes(&network, &traffic, 3, 250, 3600.0, 4);
+        assert!(routes.len() >= 2, "got {} alternatives", routes.len());
+        for (i, a) in routes.iter().enumerate() {
+            for b in &routes[i + 1..] {
+                assert_ne!(a.nodes, b.nodes, "duplicate alternative");
+            }
+        }
+        // first route is the fastest
+        for other in &routes[1..] {
+            assert!(routes[0].travel_time_s <= other.travel_time_s + 1e-6);
+        }
+    }
+
+    #[test]
+    fn more_alternatives_cost_more_effort() {
+        let (network, traffic) = setup();
+        let effort = |k: usize| -> usize {
+            alternative_routes(&network, &traffic, 0, network.len() - 1, 3600.0, k)
+                .iter()
+                .map(|r| r.expanded)
+                .sum()
+        };
+        assert!(effort(6) > effort(1) * 3);
+    }
+
+    #[test]
+    fn same_node_route_is_trivial() {
+        let (network, traffic) = setup();
+        let route = shortest_path(&network, &traffic, 7, 7, 0.0, true).unwrap();
+        assert_eq!(route.nodes, vec![7]);
+        assert_eq!(route.travel_time_s, 0.0);
+    }
+}

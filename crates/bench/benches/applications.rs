@@ -1,0 +1,71 @@
+//! Criterion: use-case application kernels (experiments U1/U2 mechanism
+//! costs).
+
+use antarex_apps::docking::{dock_ligand, generate_library, generate_pocket};
+use antarex_apps::nav::{alternative_routes, shortest_path, RoadNetwork, TrafficModel};
+use antarex_rtrm::dispatch::{run_task_pool, DispatchStrategy};
+use antarex_sim::node::{Node, NodeSpec};
+use antarex_sim::workload::docking_tasks;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_docking(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let pocket = generate_pocket(30, &mut rng);
+    let library = generate_library(4, 24, &mut rng);
+    let mut group = c.benchmark_group("dock_ligand_poses");
+    for poses in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(poses), &poses, |b, &poses| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(11);
+                black_box(dock_ligand(&library[0], &pocket, poses, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let tasks = docking_tasks(120, 5e10, 1.0, &mut rng);
+    let mut group = c.benchmark_group("dispatch_120_tasks");
+    for strategy in DispatchStrategy::all() {
+        group.bench_function(BenchmarkId::from_parameter(strategy.name()), |b| {
+            b.iter(|| {
+                let mut nodes: Vec<Node> = (0..4)
+                    .map(|i| Node::nominal(NodeSpec::cineca_xeon(), i))
+                    .collect();
+                black_box(run_task_pool(&mut nodes, &tasks, strategy))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let network = RoadNetwork::city_grid(16, &mut rng);
+    let traffic = TrafficModel::weekday();
+    let dest = network.len() - 1;
+    c.bench_function("astar_16x16", |b| {
+        b.iter(|| {
+            black_box(shortest_path(&network, &traffic, 0, dest, 8.0 * 3600.0, true).unwrap())
+        })
+    });
+    c.bench_function("alternatives_k4_16x16", |b| {
+        b.iter(|| {
+            black_box(alternative_routes(
+                &network,
+                &traffic,
+                0,
+                dest,
+                8.0 * 3600.0,
+                4,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_docking, bench_dispatch, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion: platform-simulator mechanism costs (experiments C1–C4
+//! building blocks).
+
+use antarex_rtrm::governor::{run_with_governor, Governor, GovernorKind};
+use antarex_sim::cooling::CoolingPlant;
+use antarex_sim::job::WorkUnit;
+use antarex_sim::node::{Node, NodeSpec};
+use antarex_sim::thermal::ThermalModel;
+use antarex_sim::variability::ProcessVariation;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_node_execution(c: &mut Criterion) {
+    c.bench_function("node_execute_compute_bound", |b| {
+        let mut node = Node::nominal(NodeSpec::cineca_xeon(), 0);
+        let work = WorkUnit::compute_bound(1e12);
+        b.iter(|| black_box(node.execute(black_box(&work))))
+    });
+    c.bench_function("node_execute_offloaded_gpu", |b| {
+        let mut node = Node::nominal(NodeSpec::cineca_accelerated(), 0);
+        let work = WorkUnit::compute_bound(1e12);
+        b.iter(|| black_box(node.execute_offloaded(black_box(&work), 0)))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    c.bench_function("thermal_step", |b| {
+        let mut model = ThermalModel::server_node(26.0);
+        b.iter(|| black_box(model.step(black_box(200.0), 26.0, 1.0)))
+    });
+    c.bench_function("variability_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| black_box(ProcessVariation::sample(&mut rng)))
+    });
+    c.bench_function("pue_evaluation", |b| {
+        let plant = CoolingPlant::european_datacenter();
+        b.iter(|| black_box(plant.pue(black_box(1e6), black_box(22.0))))
+    });
+}
+
+fn bench_governors(c: &mut Criterion) {
+    let work = vec![WorkUnit::with_intensity(3e11, 2.0); 4];
+    c.bench_function("governor_ondemand_stream", |b| {
+        b.iter(|| {
+            let mut node = Node::nominal(NodeSpec::cineca_xeon(), 0);
+            let mut gov = Governor::new(GovernorKind::Ondemand);
+            black_box(run_with_governor(&mut node, &mut gov, &work))
+        })
+    });
+    c.bench_function("governor_energy_optimal_stream", |b| {
+        b.iter(|| {
+            let mut node = Node::nominal(NodeSpec::cineca_xeon(), 0);
+            let mut gov = Governor::new(GovernorKind::EnergyOptimal);
+            black_box(run_with_governor(&mut node, &mut gov, &work))
+        })
+    });
+}
+
+criterion_group!(benches, bench_node_execution, bench_models, bench_governors);
+criterion_main!(benches);

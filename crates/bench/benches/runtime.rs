@@ -1,0 +1,67 @@
+//! Criterion: runtime execution — generic vs specialized kernels and the
+//! dynamic-dispatch overhead (experiment F4 mechanism costs).
+
+use antarex_core::flow::ToolFlow;
+use antarex_core::scenario::DYNAMIC_KERNEL;
+use antarex_dsl::figures::{FIG3_UNROLL_INNERMOST_LOOPS, FIG4_SPECIALIZE_KERNEL};
+use antarex_dsl::DslValue;
+use antarex_ir::interp::{ExecEnv, Interp};
+use antarex_ir::parse_program;
+use antarex_ir::value::Value;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_interp(c: &mut Criterion) {
+    let program = parse_program(DYNAMIC_KERNEL).unwrap();
+    let buf = Value::from(vec![0.5; 64]);
+    c.bench_function("interp_generic_kernel_64", |b| {
+        let mut interp = Interp::new(program.clone());
+        b.iter(|| {
+            interp
+                .call(
+                    "run",
+                    black_box(&[buf.clone(), Value::Int(64)]),
+                    &mut ExecEnv::new(),
+                )
+                .unwrap()
+        })
+    });
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let aspects = format!("{FIG4_SPECIALIZE_KERNEL}\n{FIG3_UNROLL_INNERMOST_LOOPS}");
+    let buf = Value::from(vec![0.5; 32]);
+
+    c.bench_function("runtime_specialized_cached_call", |b| {
+        let mut flow = ToolFlow::new(DYNAMIC_KERNEL, &aspects).unwrap();
+        flow.weave("SpecializeKernel", &[DslValue::Int(4), DslValue::Int(64)])
+            .unwrap();
+        let mut runtime = flow.deploy();
+        // warm up: synthesize the version
+        runtime.call("run", &[buf.clone(), Value::Int(32)]).unwrap();
+        b.iter(|| {
+            runtime
+                .call("run", black_box(&[buf.clone(), Value::Int(32)]))
+                .unwrap()
+        })
+    });
+
+    c.bench_function("runtime_first_call_specialization", |b| {
+        b.iter_with_setup(
+            || {
+                let mut flow = ToolFlow::new(DYNAMIC_KERNEL, &aspects).unwrap();
+                flow.weave("SpecializeKernel", &[DslValue::Int(4), DslValue::Int(64)])
+                    .unwrap();
+                flow.deploy()
+            },
+            |mut runtime| {
+                runtime
+                    .call("run", black_box(&[buf.clone(), Value::Int(32)]))
+                    .unwrap();
+                black_box(runtime.version_count("kernel"))
+            },
+        )
+    });
+}
+
+criterion_group!(benches, bench_interp, bench_dispatch);
+criterion_main!(benches);

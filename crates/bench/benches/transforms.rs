@@ -1,0 +1,109 @@
+//! Criterion: weaver transformation costs (unroll, specialize, fold).
+
+use antarex_ir::value::Value;
+use antarex_ir::{parse_program, NodePath};
+use antarex_weaver::transform::fold::fold_block;
+use antarex_weaver::transform::specialize::specialize;
+use antarex_weaver::transform::unroll::{unroll_by_factor, unroll_full};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn kernel(trip: usize) -> String {
+    format!(
+        "double k(double a[]) {{
+             double s = 0.0;
+             for (int i = 0; i < {trip}; i++) {{ s += a[i] * 1.5 + 2.0; }}
+             return s;
+         }}"
+    )
+}
+
+fn bench_unroll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unroll_full");
+    for trip in [8usize, 64, 256] {
+        let program = parse_program(&kernel(trip)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(trip), &trip, |b, _| {
+            b.iter(|| {
+                let mut p = program.clone();
+                p.edit_function("k", |f| {
+                    unroll_full(&mut f.body, &NodePath::root(1)).unwrap();
+                })
+                .unwrap();
+                black_box(p)
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("unroll_by_factor_8_of_256", |b| {
+        let program = parse_program(&kernel(256)).unwrap();
+        b.iter(|| {
+            let mut p = program.clone();
+            p.edit_function("k", |f| {
+                unroll_by_factor(&mut f.body, &NodePath::root(1), 8).unwrap();
+            })
+            .unwrap();
+            black_box(p)
+        })
+    });
+}
+
+fn bench_specialize_and_fold(c: &mut Criterion) {
+    let program = parse_program(
+        "double kernel(double a[], int size) {
+             double s = 0.0;
+             for (int i = 0; i < size; i++) { s += a[i] * a[i]; }
+             if (size > 100) { s = s / 2.0; }
+             return s;
+         }",
+    )
+    .unwrap();
+    c.bench_function("specialize_kernel_size", |b| {
+        b.iter(|| black_box(specialize(&program, "kernel", "size", &Value::Int(64)).unwrap()))
+    });
+    let body = program.function("kernel").unwrap().body.clone();
+    c.bench_function("fold_kernel_body", |b| {
+        b.iter(|| black_box(fold_block(black_box(&body))))
+    });
+}
+
+fn bench_tile_and_inline(c: &mut Criterion) {
+    let program = parse_program(&kernel(256)).unwrap();
+    c.bench_function("tile_16_of_256", |b| {
+        b.iter(|| {
+            let mut p = program.clone();
+            p.edit_function("k", |f| {
+                antarex_weaver::transform::tile::tile(&mut f.body, &NodePath::root(1), 16).unwrap();
+            })
+            .unwrap();
+            black_box(p)
+        })
+    });
+    let inlinable = parse_program(
+        "double w(double x) { return x * 0.5 + 1.0; }
+         double k(double a[]) {
+             double s = 0.0;
+             for (int i = 0; i < 64; i++) { s += w(a[i]) + w(s); }
+             return s;
+         }",
+    )
+    .unwrap();
+    c.bench_function("inline_helper_calls", |b| {
+        b.iter(|| {
+            let mut p = inlinable.clone();
+            p.edit_function("k", |f| {
+                antarex_weaver::transform::inline::inline_calls(&mut f.body, &inlinable, "w")
+                    .unwrap();
+            })
+            .unwrap();
+            black_box(p)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_unroll,
+    bench_specialize_and_fold,
+    bench_tile_and_inline
+);
+criterion_main!(benches);

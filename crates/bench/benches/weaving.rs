@@ -1,0 +1,71 @@
+//! Criterion: DSL front-end and weaving throughput (experiments F2/F3
+//! mechanism costs).
+
+use antarex_dsl::figures::{
+    FIG2_PROFILE_ARGUMENTS, FIG3_UNROLL_INNERMOST_LOOPS, FIG4_SPECIALIZE_KERNEL,
+};
+use antarex_dsl::interp::Weaver;
+use antarex_dsl::{parse_aspects, DslValue};
+use antarex_ir::parse_program;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const APP: &str = "double kernel(double a[], int size) {
+    double s = 0.0;
+    for (int i = 0; i < size; i++) { s += a[i] * a[i]; }
+    return s;
+}
+void sweep(double buf[]) {
+    for (int r = 0; r < 8; r++) { kernel(buf, 64); }
+    kernel(buf, 128);
+    kernel(buf, 256);
+}";
+
+fn bench_parsing(c: &mut Criterion) {
+    let all = format!(
+        "{FIG2_PROFILE_ARGUMENTS}\n{FIG3_UNROLL_INNERMOST_LOOPS}\n{FIG4_SPECIALIZE_KERNEL}"
+    );
+    c.bench_function("parse_three_paper_aspects", |b| {
+        b.iter(|| parse_aspects(black_box(&all)).unwrap())
+    });
+    c.bench_function("parse_mini_c_application", |b| {
+        b.iter(|| parse_program(black_box(APP)).unwrap())
+    });
+}
+
+fn bench_weaving(c: &mut Criterion) {
+    c.bench_function("weave_fig2_profiling", |b| {
+        let lib = parse_aspects(FIG2_PROFILE_ARGUMENTS).unwrap();
+        b.iter(|| {
+            let mut program = parse_program(APP).unwrap();
+            Weaver::new(lib.clone())
+                .weave(
+                    &mut program,
+                    "ProfileArguments",
+                    &[DslValue::from("kernel")],
+                )
+                .unwrap();
+            black_box(program)
+        })
+    });
+    c.bench_function("weave_fig4_capture_dynamic_plan", |b| {
+        let lib = parse_aspects(&format!(
+            "{FIG4_SPECIALIZE_KERNEL}\n{FIG3_UNROLL_INNERMOST_LOOPS}"
+        ))
+        .unwrap();
+        b.iter(|| {
+            let mut program = parse_program(APP).unwrap();
+            let mut weaver = Weaver::new(lib.clone());
+            weaver
+                .weave(
+                    &mut program,
+                    "SpecializeKernel",
+                    &[DslValue::Int(4), DslValue::Int(64)],
+                )
+                .unwrap();
+            black_box(weaver.dynamic_plans().len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_parsing, bench_weaving);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates every figure and quantitative claim of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p antarex-bench --bin experiments            # all experiments
+//! cargo run -p antarex-bench --bin experiments -- --only c3 u1
+//! cargo run -p antarex-bench --bin experiments -- --list
+//! ```
+
+use antarex_bench::{all_experiments, run_selected};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for experiment in all_experiments() {
+            println!("{:<4} {}", experiment.id, experiment.title);
+        }
+        return;
+    }
+    let only: Vec<String> = match args.iter().position(|a| a == "--only") {
+        Some(pos) => args[pos + 1..]
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .cloned()
+            .collect(),
+        None => Vec::new(),
+    };
+    print!("{}", run_selected(&only));
+}

@@ -1,0 +1,170 @@
+//! # antarex-bench — the experiment harness
+//!
+//! Regenerates every figure and every quantitative claim of the paper
+//! (Silvano et al., DATE 2016) on the simulated substrate. Each
+//! experiment is a function returning a printable report; the
+//! `experiments` binary prints them all (or a `--only` selection), and
+//! the criterion benches time the underlying mechanisms.
+//!
+//! Experiment index (see DESIGN.md §4 and EXPERIMENTS.md):
+//!
+//! | id | source | reproduces |
+//! |----|--------|------------|
+//! | f2 | Fig. 2 | profiling aspect weaving + runtime histograms |
+//! | f3 | Fig. 3 | unrolling speedup vs threshold |
+//! | f4 | Fig. 4 | dynamic specialization in `[lowT, highT]` |
+//! | c1 | §I     | heterogeneous ≈ 3× homogeneous MFLOPS/W |
+//! | c2 | §V     | ≈15% energy variation across identical nodes |
+//! | c3 | §V     | 18–50% savings: optimal P-state vs Linux governor |
+//! | c4 | §V     | >10% PUE loss winter → summer |
+//! | c5 | §I     | exascale power projection vs the 20–30 MW envelope |
+//! | u1 | §VII-a | docking: static vs dynamic vs hetero-aware dispatch |
+//! | u2 | §VII-b | navigation: fixed vs adaptive quality under load |
+//! | a1 | §IV    | grey-box vs black-box autotuning convergence |
+//! | a2 | §IV    | precision autotuning: energy vs error budget |
+//! | a3 | §V     | hierarchical vs flat power management (ablation) |
+//! | a4 | §V     | thermal-aware vs oblivious operation (ablation) |
+//! | a5 | §V     | energy-aware co-scheduling under a power cap |
+//! | a6 | §V     | FIFO vs EASY backfilling, replayed with energy |
+
+pub mod ablations;
+pub mod claims;
+pub mod figures;
+pub mod use_cases;
+
+/// One registered experiment.
+pub struct Experiment {
+    /// Short identifier (`f2`, `c1`, ...).
+    pub id: &'static str,
+    /// Human-readable title, citing the paper source.
+    pub title: &'static str,
+    /// Runs the experiment and renders its report.
+    pub run: fn() -> String,
+}
+
+/// Every experiment, in presentation order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "f2",
+            title: "Fig. 2 — ProfileArguments: weaving + runtime argument histogram",
+            run: figures::f2_profile_arguments,
+        },
+        Experiment {
+            id: "f3",
+            title: "Fig. 3 — UnrollInnermostLoops: speedup vs threshold",
+            run: figures::f3_unroll_threshold_sweep,
+        },
+        Experiment {
+            id: "f4",
+            title: "Fig. 4 — SpecializeKernel: dynamic weaving and the version cache",
+            run: figures::f4_dynamic_specialization,
+        },
+        Experiment {
+            id: "c1",
+            title: "§I — heterogeneous vs homogeneous efficiency (paper: 7032 vs 2304 MFLOPS/W)",
+            run: claims::c1_heterogeneous_efficiency,
+        },
+        Experiment {
+            id: "c2",
+            title: "§V — energy variation across nominally identical nodes (paper: 15%)",
+            run: claims::c2_variability_spread,
+        },
+        Experiment {
+            id: "c3",
+            title: "§V — optimal operating point vs Linux governors (paper: 18-50%)",
+            run: claims::c3_governor_savings,
+        },
+        Experiment {
+            id: "c4",
+            title: "§V — PUE loss winter to summer (paper: >10%)",
+            run: claims::c4_pue_seasons,
+        },
+        Experiment {
+            id: "c5",
+            title: "§I — exascale power projection vs the 20-30 MW envelope",
+            run: claims::c5_exascale_projection,
+        },
+        Experiment {
+            id: "u1",
+            title: "§VII-a — drug discovery: dispatch strategies on the heterogeneous cluster",
+            run: use_cases::u1_docking_dispatch,
+        },
+        Experiment {
+            id: "u2",
+            title: "§VII-b — navigation: fixed vs SLA-adaptive quality under rush-hour load",
+            run: use_cases::u2_navigation_adaptivity,
+        },
+        Experiment {
+            id: "a1",
+            title: "§IV — grey-box vs black-box autotuning convergence",
+            run: ablations::a1_greybox_vs_blackbox,
+        },
+        Experiment {
+            id: "a2",
+            title: "§IV — precision autotuning: energy vs error budget",
+            run: ablations::a2_precision_budget_sweep,
+        },
+        Experiment {
+            id: "a3",
+            title: "§V ablation — hierarchical vs flat power management",
+            run: ablations::a3_hierarchical_vs_flat,
+        },
+        Experiment {
+            id: "a4",
+            title: "§V ablation — thermal-aware vs oblivious operation (MS3)",
+            run: ablations::a4_thermal_aware,
+        },
+        Experiment {
+            id: "a6",
+            title: "§V — FIFO vs EASY-backfill scheduling, replayed with energy accounting",
+            run: ablations::a6_scheduler_replay,
+        },
+        Experiment {
+            id: "a5",
+            title: "§V — energy-aware co-scheduling under a facility power cap (SuperMUC-style)",
+            run: ablations::a5_energy_aware_scheduling,
+        },
+    ]
+}
+
+/// Runs experiments by id (all when `only` is empty), rendering a full
+/// report.
+pub fn run_selected(only: &[String]) -> String {
+    let mut out = String::new();
+    for experiment in all_experiments() {
+        if !only.is_empty() && !only.iter().any(|o| o == experiment.id) {
+            continue;
+        }
+        out.push_str(&format!(
+            "==============================================================\n[{}] {}\n==============================================================\n",
+            experiment.id, experiment.title
+        ));
+        out.push_str(&(experiment.run)());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let experiments = all_experiments();
+        for (i, a) in experiments.iter().enumerate() {
+            for b in &experiments[i + 1..] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+        assert_eq!(experiments.len(), 16);
+    }
+
+    #[test]
+    fn selection_filters() {
+        let report = run_selected(&["c4".to_string()]);
+        assert!(report.contains("[c4]"));
+        assert!(!report.contains("[c1]"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Split-compilation accounting.
+//!
+//! "The key idea is to split the compilation process in two steps —
+//! offline, and online — and to offload as much of the complexity as
+//! possible to the offline step, conveying the results to runtime
+//! optimizers" (§III). This module quantifies the split for a deployed
+//! runtime: how much work happened offline (static weaving), how often
+//! the online step had to synthesize code (specializations), and how
+//! often it rode the version cache for free.
+
+use crate::flow::{FlowError, Runtime};
+use antarex_ir::value::Value;
+
+/// Split-compilation statistics for one call-site function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitReport {
+    /// Calls answered straight from the version cache.
+    pub cache_hits: u64,
+    /// Calls that fell through the cache (miss or out of range).
+    pub cache_misses: u64,
+    /// Distinct specialized versions synthesized online.
+    pub versions: usize,
+    /// Mean per-call cost (abstract units) over the measured calls.
+    pub mean_cost: f64,
+}
+
+impl SplitReport {
+    /// Cache hit rate over all dispatches.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Drives `calls` through a deployed runtime, then reports the split
+/// between online synthesis and cache reuse for `function`.
+///
+/// # Errors
+///
+/// Propagates runtime errors from any call.
+pub fn measure_split(
+    runtime: &mut Runtime,
+    entry: &str,
+    function: &str,
+    calls: &[Vec<Value>],
+) -> Result<SplitReport, FlowError> {
+    let mut total_cost = 0u64;
+    for args in calls {
+        let (_, stats) = runtime.call(entry, args)?;
+        total_cost += stats.cost;
+    }
+    let (hits, misses) = runtime.dispatch_stats(function);
+    Ok(SplitReport {
+        cache_hits: hits,
+        cache_misses: misses,
+        versions: runtime.version_count(function),
+        mean_cost: if calls.is_empty() {
+            0.0
+        } else {
+            total_cost as f64 / calls.len() as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::ToolFlow;
+    use crate::scenario::DYNAMIC_KERNEL;
+    use antarex_dsl::figures::{FIG3_UNROLL_INNERMOST_LOOPS, FIG4_SPECIALIZE_KERNEL};
+    use antarex_dsl::DslValue;
+
+    fn deployed() -> Runtime {
+        let aspects = format!("{FIG4_SPECIALIZE_KERNEL}\n{FIG3_UNROLL_INNERMOST_LOOPS}");
+        let mut flow = ToolFlow::new(DYNAMIC_KERNEL, &aspects).unwrap();
+        flow.weave("SpecializeKernel", &[DslValue::Int(4), DslValue::Int(64)])
+            .unwrap();
+        flow.deploy()
+    }
+
+    #[test]
+    fn repeated_sizes_ride_the_cache() {
+        let mut runtime = deployed();
+        let calls: Vec<Vec<Value>> = (0..10)
+            .map(|_| vec![Value::from(vec![1.0; 16]), Value::Int(16)])
+            .collect();
+        let report = measure_split(&mut runtime, "run", "kernel", &calls).unwrap();
+        assert_eq!(report.versions, 1);
+        // the first call misses once, synthesizes, then resolves from the
+        // store like every later call: 10 hits, 1 miss
+        assert_eq!(report.cache_hits, 10);
+        assert_eq!(report.cache_misses, 1);
+        assert!(report.hit_rate() > 0.85);
+        assert!(report.mean_cost > 0.0);
+    }
+
+    #[test]
+    fn out_of_range_sizes_never_specialize() {
+        let mut runtime = deployed();
+        let calls: Vec<Vec<Value>> = (0..5)
+            .map(|_| vec![Value::from(vec![1.0; 100]), Value::Int(100)])
+            .collect();
+        let report = measure_split(&mut runtime, "run", "kernel", &calls).unwrap();
+        assert_eq!(report.versions, 0);
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn varied_sizes_build_a_version_per_value() {
+        let mut runtime = deployed();
+        let calls: Vec<Vec<Value>> = [8usize, 16, 24, 8, 16, 24]
+            .iter()
+            .map(|&n| vec![Value::from(vec![1.0; n]), Value::Int(n as i64)])
+            .collect();
+        let report = measure_split(&mut runtime, "run", "kernel", &calls).unwrap();
+        assert_eq!(report.versions, 3);
+        assert_eq!(report.cache_hits, 6, "3 post-synthesis + 3 repeats");
+        assert_eq!(report.cache_misses, 3);
+    }
+
+    #[test]
+    fn empty_call_list() {
+        let mut runtime = deployed();
+        let report = measure_split(&mut runtime, "run", "kernel", &[]).unwrap();
+        assert_eq!(report.mean_cost, 0.0);
+        assert_eq!(report.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! The verbatim LARA listings from the paper (Figs. 2–4).
+//!
+//! These constants reproduce the aspect code printed in Silvano et al.,
+//! DATE 2016, character-for-character (modulo the two-column line breaks).
+//! They are used throughout the workspace: the DSL test suite proves they
+//! parse, the integration tests prove they weave, and the benchmark harness
+//! measures their effect.
+
+/// Paper Fig. 2: *"Example of LARA aspect for profiling."*
+///
+/// Injects a call to an external C profiling library before every call to
+/// the function named by the `funcName` input, passing the callee name, the
+/// call location, and the actual argument values.
+pub const FIG2_PROFILE_ARGUMENTS: &str = "aspectdef ProfileArguments
+input funcName end
+select fCall end
+apply
+insert before %{profile_args('[[funcName]]',
+[[$fCall.location]],
+[[$fCall.argList]]);
+}%;
+end
+condition $fCall.name == funcName end
+end";
+
+/// Paper Fig. 3: *"Example of LARA aspect for loop unrolling."*
+///
+/// Fully unrolls innermost `for` loops whose iteration count is statically
+/// known and no greater than the `threshold` input.
+pub const FIG3_UNROLL_INNERMOST_LOOPS: &str = "aspectdef UnrollInnermostLoops
+input $func, threshold end
+select $func.loop{type=='for'} end
+apply
+do LoopUnroll('full');
+end
+condition
+$loop.isInnermost && $loop.numIter <= threshold
+end
+end";
+
+/// Paper Fig. 4: *"Example of LARA aspect with dynamic weaving."*
+///
+/// Statically prepares calls to `kernel` for multi-versioning, then — at
+/// runtime — specializes the function for the observed value of its `size`
+/// argument whenever that value falls within `[lowT, highT]`, unrolls the
+/// now-constant loops of the specialized clone, and registers the clone as
+/// a dispatchable version.
+pub const FIG4_SPECIALIZE_KERNEL: &str = "aspectdef SpecializeKernel
+input lowT, highT end
+
+call spCall: PrepareSpecialize('kernel','size');
+
+select fCall{'kernel'}.arg{'size'} end
+apply dynamic
+call spOut : Specialize($fCall, $arg.name,
+$arg.runtimeValue);
+call UnrollInnermostLoops(spOut.$func,
+$arg.runtimeValue);
+call AddVersion(spCall, spOut.$func,
+$arg.runtimeValue);
+end
+condition
+$arg.runtimeValue >= lowT &&
+$arg.runtimeValue <= highT
+end
+end";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_aspects;
+
+    #[test]
+    fn all_three_figures_parse() {
+        let all = format!(
+            "{FIG2_PROFILE_ARGUMENTS}\n{FIG3_UNROLL_INNERMOST_LOOPS}\n{FIG4_SPECIALIZE_KERNEL}"
+        );
+        let lib = parse_aspects(&all).unwrap();
+        assert_eq!(
+            lib.names(),
+            vec![
+                "ProfileArguments",
+                "SpecializeKernel",
+                "UnrollInnermostLoops"
+            ]
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by the parser, analyses and interpreter.
+
+use std::fmt;
+
+/// Error produced while parsing, transforming or executing mini-C programs.
+///
+/// # Examples
+///
+/// ```
+/// use antarex_ir::parse_program;
+///
+/// let err = parse_program("int f( {").unwrap_err();
+/// assert!(err.to_string().contains("parse error"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// The source text failed to parse; carries line/column and a message.
+    Parse {
+        /// 1-based line of the offending token.
+        line: u32,
+        /// 1-based column of the offending token.
+        col: u32,
+        /// Human-readable description of what was expected.
+        message: String,
+    },
+    /// A name (function, variable) was not found at runtime or analysis time.
+    Unresolved(String),
+    /// The interpreter hit a dynamic type mismatch.
+    Type(String),
+    /// The interpreter exceeded its configured work budget (runaway loop).
+    BudgetExceeded {
+        /// The configured limit in abstract cost units.
+        limit: u64,
+    },
+    /// Generic evaluation failure (division by zero, bad index, ...).
+    Eval(String),
+    /// A structural edit addressed a node path that does not exist.
+    BadPath(String),
+}
+
+impl IrError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: u32, col: u32, message: impl Into<String>) -> Self {
+        IrError::Parse {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            IrError::Unresolved(name) => write!(f, "unresolved name `{name}`"),
+            IrError::Type(msg) => write!(f, "type error: {msg}"),
+            IrError::BudgetExceeded { limit } => {
+                write!(f, "execution budget of {limit} cost units exceeded")
+            }
+            IrError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            IrError::BadPath(msg) => write!(f, "invalid node path: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = IrError::parse(3, 7, "expected `)`");
+        assert_eq!(err.to_string(), "parse error at 3:7: expected `)`");
+        let err = IrError::Unresolved("kernel".into());
+        assert_eq!(err.to_string(), "unresolved name `kernel`");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<IrError>();
+    }
+}

@@ -1,0 +1,339 @@
+//! Join-point model: the program points the ANTAREX DSL selects over.
+//!
+//! LARA aspects name join points like `fCall`, `$func.loop{type=='for'}`, or
+//! `fCall{'kernel'}.arg{'size'}`. This module extracts those points from a
+//! [`Program`] together with the static attributes aspects query (`name`,
+//! `location`, `argList`, `isInnermost`, `numIter`, ...). Dynamic attributes
+//! such as `runtimeValue` are bound later, during dynamic weaving.
+
+use crate::analysis;
+use crate::ast::{Expr, Program, Stmt};
+use crate::path::NodePath;
+use crate::printer::print_expr;
+use std::fmt;
+
+/// Kind of loop a [`JoinPoint::Loop`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopKind {
+    /// Counted `for` loop.
+    For,
+    /// Pre-test `while` loop.
+    While,
+}
+
+impl fmt::Display for LoopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LoopKind::For => "for",
+            LoopKind::While => "while",
+        })
+    }
+}
+
+/// A static attribute value exposed by a join point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JpAttr {
+    /// Integer attribute (e.g. `numIter`).
+    Int(i64),
+    /// Boolean attribute (e.g. `isInnermost`).
+    Bool(bool),
+    /// String attribute (e.g. `name`, `location`).
+    Str(String),
+    /// A source-code fragment (e.g. `argList`); templates splice it raw
+    /// rather than as a quoted string literal.
+    Code(String),
+}
+
+impl fmt::Display for JpAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JpAttr::Int(v) => write!(f, "{v}"),
+            JpAttr::Bool(v) => write!(f, "{v}"),
+            JpAttr::Str(s) | JpAttr::Code(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A selectable program point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinPoint {
+    /// A function definition.
+    Function {
+        /// Function name.
+        name: String,
+    },
+    /// A loop statement.
+    Loop {
+        /// Enclosing function.
+        function: String,
+        /// Structural path of the loop statement.
+        path: NodePath,
+        /// `for` or `while`.
+        kind: LoopKind,
+        /// Statically-known trip count, if any.
+        num_iter: Option<u64>,
+        /// Whether the loop contains no nested loops.
+        is_innermost: bool,
+    },
+    /// A call site.
+    Call {
+        /// Enclosing function.
+        function: String,
+        /// Path of the statement containing the call.
+        path: NodePath,
+        /// Callee name.
+        callee: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// An argument at a specific call site, matched by the *formal* name of
+    /// the callee's parameter (as in `fCall{'kernel'}.arg{'size'}`).
+    Arg {
+        /// Enclosing function of the call.
+        function: String,
+        /// Path of the statement containing the call.
+        path: NodePath,
+        /// Callee name.
+        callee: String,
+        /// Position of the argument.
+        index: usize,
+        /// Formal parameter name in the callee.
+        name: String,
+    },
+}
+
+impl JoinPoint {
+    /// Join-point kind name as used in `select` statements.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            JoinPoint::Function { .. } => "function",
+            JoinPoint::Loop { .. } => "loop",
+            JoinPoint::Call { .. } => "fCall",
+            JoinPoint::Arg { .. } => "arg",
+        }
+    }
+
+    /// Name of the function this join point lives in (or is).
+    pub fn enclosing_function(&self) -> &str {
+        match self {
+            JoinPoint::Function { name } => name,
+            JoinPoint::Loop { function, .. }
+            | JoinPoint::Call { function, .. }
+            | JoinPoint::Arg { function, .. } => function,
+        }
+    }
+
+    /// Structural path for statement-level join points.
+    pub fn path(&self) -> Option<&NodePath> {
+        match self {
+            JoinPoint::Function { .. } => None,
+            JoinPoint::Loop { path, .. }
+            | JoinPoint::Call { path, .. }
+            | JoinPoint::Arg { path, .. } => Some(path),
+        }
+    }
+
+    /// Looks up a static attribute by its LARA name.
+    ///
+    /// Supported attributes:
+    ///
+    /// | kind | attributes |
+    /// |------|------------|
+    /// | function | `name` |
+    /// | loop | `type`, `isInnermost`, `numIter` (absent when unknown), `function` |
+    /// | fCall | `name`, `location`, `argList`, `numArgs`, `function` |
+    /// | arg | `name`, `index`, `callee`, `function` |
+    pub fn attribute(&self, attr: &str) -> Option<JpAttr> {
+        match self {
+            JoinPoint::Function { name } => match attr {
+                "name" => Some(JpAttr::Str(name.clone())),
+                _ => None,
+            },
+            JoinPoint::Loop {
+                function,
+                kind,
+                num_iter,
+                is_innermost,
+                ..
+            } => match attr {
+                "type" => Some(JpAttr::Str(kind.to_string())),
+                "isInnermost" => Some(JpAttr::Bool(*is_innermost)),
+                "numIter" => num_iter.map(|n| JpAttr::Int(n as i64)),
+                "function" => Some(JpAttr::Str(function.clone())),
+                _ => None,
+            },
+            JoinPoint::Call {
+                function,
+                path,
+                callee,
+                args,
+            } => match attr {
+                "name" => Some(JpAttr::Str(callee.clone())),
+                "location" => Some(JpAttr::Str(format!("{function}:{path}"))),
+                "argList" => {
+                    let list: Vec<String> = args.iter().map(print_expr).collect();
+                    Some(JpAttr::Code(list.join(", ")))
+                }
+                "numArgs" => Some(JpAttr::Int(args.len() as i64)),
+                "function" => Some(JpAttr::Str(function.clone())),
+                _ => None,
+            },
+            JoinPoint::Arg {
+                function,
+                callee,
+                index,
+                name,
+                ..
+            } => match attr {
+                "name" => Some(JpAttr::Str(name.clone())),
+                "index" => Some(JpAttr::Int(*index as i64)),
+                "callee" => Some(JpAttr::Str(callee.clone())),
+                "function" => Some(JpAttr::Str(function.clone())),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Collects all join points of a program: every function, its loops, its
+/// call sites, and every call argument whose formal name is resolvable.
+pub fn collect_join_points(program: &Program) -> Vec<JoinPoint> {
+    let mut points = Vec::new();
+    for function in program.iter() {
+        points.push(JoinPoint::Function {
+            name: function.name.clone(),
+        });
+        for (path, stmt) in NodePath::enumerate(&function.body) {
+            if let Stmt::For { .. } | Stmt::While { .. } = stmt {
+                points.push(JoinPoint::Loop {
+                    function: function.name.clone(),
+                    path: path.clone(),
+                    kind: if matches!(stmt, Stmt::For { .. }) {
+                        LoopKind::For
+                    } else {
+                        LoopKind::While
+                    },
+                    num_iter: analysis::trip_count(stmt),
+                    is_innermost: analysis::is_innermost(stmt),
+                });
+            }
+        }
+        for site in analysis::call_sites(&function.body) {
+            points.push(JoinPoint::Call {
+                function: function.name.clone(),
+                path: site.path.clone(),
+                callee: site.callee.clone(),
+                args: site.args.clone(),
+            });
+            if let Some(callee) = program.function(&site.callee) {
+                for (index, param) in callee.params.iter().enumerate() {
+                    if index < site.args.len() {
+                        points.push(JoinPoint::Arg {
+                            function: function.name.clone(),
+                            path: site.path.clone(),
+                            callee: site.callee.clone(),
+                            index,
+                            name: param.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn sample() -> Program {
+        parse_program(
+            "double kernel(double a[], int size) {
+                 double s = 0.0;
+                 for (int i = 0; i < size; i++) { s += a[i]; }
+                 return s;
+             }
+             void main_loop(double buf[]) {
+                 for (int r = 0; r < 10; r++) {
+                     kernel(buf, 64);
+                 }
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn collects_functions_loops_calls_args() {
+        let points = collect_join_points(&sample());
+        let kinds: Vec<&str> = points.iter().map(|p| p.kind_name()).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "function").count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == "loop").count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == "fCall").count(), 1);
+        // kernel(double a[], int size) called with 2 args -> 2 arg points
+        assert_eq!(kinds.iter().filter(|k| **k == "arg").count(), 2);
+    }
+
+    #[test]
+    fn loop_attributes() {
+        let points = collect_join_points(&sample());
+        let outer = points
+            .iter()
+            .find(|p| matches!(p, JoinPoint::Loop { function, .. } if function == "main_loop"))
+            .unwrap();
+        assert_eq!(outer.attribute("type"), Some(JpAttr::Str("for".into())));
+        assert_eq!(outer.attribute("numIter"), Some(JpAttr::Int(10)));
+        assert_eq!(outer.attribute("isInnermost"), Some(JpAttr::Bool(true)));
+        let inner = points
+            .iter()
+            .find(|p| matches!(p, JoinPoint::Loop { function, .. } if function == "kernel"))
+            .unwrap();
+        // bound is `size`, dynamic
+        assert_eq!(inner.attribute("numIter"), None);
+    }
+
+    #[test]
+    fn call_attributes() {
+        let points = collect_join_points(&sample());
+        let call = points
+            .iter()
+            .find(|p| matches!(p, JoinPoint::Call { .. }))
+            .unwrap();
+        assert_eq!(call.attribute("name"), Some(JpAttr::Str("kernel".into())));
+        assert_eq!(
+            call.attribute("argList"),
+            Some(JpAttr::Code("buf, 64".into()))
+        );
+        assert_eq!(call.attribute("numArgs"), Some(JpAttr::Int(2)));
+        let JpAttr::Str(loc) = call.attribute("location").unwrap() else {
+            panic!()
+        };
+        assert!(loc.starts_with("main_loop:"));
+    }
+
+    #[test]
+    fn arg_matched_by_formal_name() {
+        let points = collect_join_points(&sample());
+        let arg = points
+            .iter()
+            .find(|p| matches!(p, JoinPoint::Arg { name, .. } if name == "size"))
+            .unwrap();
+        assert_eq!(arg.attribute("index"), Some(JpAttr::Int(1)));
+        assert_eq!(arg.attribute("callee"), Some(JpAttr::Str("kernel".into())));
+    }
+
+    #[test]
+    fn unknown_attribute_is_none() {
+        let points = collect_join_points(&sample());
+        assert_eq!(points[0].attribute("definitely_not_real"), None);
+    }
+
+    #[test]
+    fn calls_to_unknown_functions_have_no_arg_points() {
+        let program = parse_program("void f() { mystery(1, 2, 3); }").unwrap();
+        let points = collect_join_points(&program);
+        assert!(points.iter().any(|p| matches!(p, JoinPoint::Call { .. })));
+        assert!(!points.iter().any(|p| matches!(p, JoinPoint::Arg { .. })));
+    }
+}

@@ -1,0 +1,146 @@
+//! Runtime values of the mini-C interpreter.
+
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Floating-point number (stored as binary64; stores to narrower
+    /// declarations are quantized by the interpreter).
+    Float(f64),
+    /// String (instrumentation).
+    Str(String),
+    /// Array of floats or ints, passed by reference semantics inside one
+    /// call via cloning in/out (sufficient for our kernels).
+    Array(Vec<Value>),
+    /// Absence of a value (void call result).
+    Unit,
+}
+
+impl Value {
+    /// Interprets the value as a boolean (C semantics: non-zero is true).
+    ///
+    /// Strings and arrays are truthy when non-empty; `Unit` is false.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Array(a) => !a.is_empty(),
+            Value::Unit => false,
+        }
+    }
+
+    /// Numeric view as f64, if the value is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer view, truncating floats, if the value is numeric.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the value is a float (not an int).
+    pub fn is_float(&self) -> bool {
+        matches!(self, Value::Float(_))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::Array(v.into_iter().map(Value::Float).collect())
+    }
+}
+
+impl From<Vec<i64>> for Value {
+    fn from(v: Vec<i64>) -> Self {
+        Value::Array(v.into_iter().map(Value::Int).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Unit => write!(f, "()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_follows_c() {
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Float(0.5).truthy());
+        assert!(!Value::Float(0.0).truthy());
+        assert!(!Value::Unit.truthy());
+        assert!(Value::Str("x".into()).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.9).as_i64(), Some(2));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn display_array() {
+        let v = Value::from(vec![1i64, 2, 3]);
+        assert_eq!(v.to_string(), "[1, 2, 3]");
+    }
+}

@@ -1,0 +1,43 @@
+//! # antarex-monitor — runtime monitoring infrastructure
+//!
+//! The ANTAREX runtime (Silvano et al., DATE 2016, §II and §IV) keeps every
+//! application under continuous observation: "the application is
+//! continuously monitored to guarantee the required Service Level Agreement
+//! (SLA)", with "an application level collect-analyse-decide-act loop"
+//! feeding the autotuner and the resource manager. This crate is that
+//! layer:
+//!
+//! * [`series`] — bounded time series with streaming statistics (mean,
+//!   percentiles, EWMA) over sliding windows;
+//! * [`sensor`] — named sensors and a registry, the introspection points
+//!   the RTRM taps;
+//! * [`sla`] — service-level objectives over monitored metrics, with
+//!   violation accounting;
+//! * [`cada`] — the collect→analyse→decide→act control-loop skeleton used
+//!   by the application autotuner and the hierarchical power manager.
+//!
+//! Time is always supplied by the caller (simulated seconds), keeping every
+//! component deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use antarex_monitor::series::TimeSeries;
+//!
+//! let mut latency = TimeSeries::with_capacity(128);
+//! for (t, v) in [(0.0, 12.0), (1.0, 15.0), (2.0, 11.0)] {
+//!     latency.push(t, v);
+//! }
+//! assert_eq!(latency.len(), 3);
+//! assert!((latency.mean().unwrap() - 12.666).abs() < 0.01);
+//! ```
+
+pub mod cada;
+pub mod drift;
+pub mod sensor;
+pub mod series;
+pub mod sla;
+
+pub use sensor::{Sensor, SensorRegistry};
+pub use series::TimeSeries;
+pub use sla::{Sla, SlaKind, SlaReport};

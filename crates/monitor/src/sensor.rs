@@ -1,0 +1,182 @@
+//! Named sensors and the monitoring registry.
+//!
+//! Sensors are the "novel introspection points" of the paper's §V: every
+//! component (node power model, application progress counter, thermal
+//! model) publishes measurements under a name; controllers read them
+//! through a shared [`SensorRegistry`].
+
+use crate::series::TimeSeries;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A single named measurement stream.
+#[derive(Debug)]
+pub struct Sensor {
+    name: String,
+    unit: &'static str,
+    series: TimeSeries,
+}
+
+impl Sensor {
+    /// Creates a sensor with a default 256-sample window.
+    pub fn new(name: impl Into<String>, unit: &'static str) -> Self {
+        Sensor {
+            name: name.into(),
+            unit,
+            series: TimeSeries::default(),
+        }
+    }
+
+    /// Sensor name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Unit label (e.g. `"W"`, `"s"`, `"°C"`).
+    pub fn unit(&self) -> &'static str {
+        self.unit
+    }
+
+    /// Records a measurement.
+    pub fn record(&mut self, time: f64, value: f64) {
+        self.series.push(time, value);
+    }
+
+    /// The underlying series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+}
+
+/// A thread-safe registry of sensors, shared between the simulated
+/// platform, the autotuner and the resource manager.
+///
+/// # Examples
+///
+/// ```
+/// use antarex_monitor::SensorRegistry;
+///
+/// let registry = SensorRegistry::new();
+/// registry.record("node0.power", "W", 0.0, 212.0);
+/// registry.record("node0.power", "W", 1.0, 218.0);
+/// assert_eq!(registry.last("node0.power"), Some(218.0));
+/// assert_eq!(registry.mean("node0.power"), Some(215.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SensorRegistry {
+    inner: Arc<Mutex<BTreeMap<String, Sensor>>>,
+}
+
+impl SensorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a measurement, creating the sensor on first use.
+    pub fn record(&self, name: &str, unit: &'static str, time: f64, value: f64) {
+        let mut sensors = self.inner.lock();
+        sensors
+            .entry(name.to_string())
+            .or_insert_with(|| Sensor::new(name, unit))
+            .record(time, value);
+    }
+
+    /// Latest value of a sensor.
+    pub fn last(&self, name: &str) -> Option<f64> {
+        self.inner
+            .lock()
+            .get(name)?
+            .series()
+            .last()
+            .map(|s| s.value)
+    }
+
+    /// Mean over the sensor's retained window.
+    pub fn mean(&self, name: &str) -> Option<f64> {
+        self.inner.lock().get(name)?.series().mean()
+    }
+
+    /// Quantile over the sensor's retained window.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.inner.lock().get(name)?.series().quantile(q)
+    }
+
+    /// EWMA of the sensor.
+    pub fn ewma(&self, name: &str) -> Option<f64> {
+        self.inner.lock().get(name)?.series().ewma()
+    }
+
+    /// Applies `f` to the sensor's series, returning its result.
+    pub fn with_series<R>(&self, name: &str, f: impl FnOnce(&TimeSeries) -> R) -> Option<R> {
+        let sensors = self.inner.lock();
+        sensors.get(name).map(|s| f(s.series()))
+    }
+
+    /// Names of all registered sensors, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.lock().keys().cloned().collect()
+    }
+
+    /// Number of registered sensors.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Returns `true` if no sensors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let registry = SensorRegistry::new();
+        registry.record("app.latency", "s", 0.0, 0.1);
+        registry.record("app.latency", "s", 1.0, 0.3);
+        assert_eq!(registry.last("app.latency"), Some(0.3));
+        assert!((registry.mean("app.latency").unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(registry.last("missing"), None);
+    }
+
+    #[test]
+    fn registry_is_cloneable_and_shared() {
+        let a = SensorRegistry::new();
+        let b = a.clone();
+        a.record("x", "", 0.0, 1.0);
+        assert_eq!(b.last("x"), Some(1.0), "clones share state");
+    }
+
+    #[test]
+    fn names_sorted() {
+        let registry = SensorRegistry::new();
+        registry.record("zeta", "", 0.0, 0.0);
+        registry.record("alpha", "", 0.0, 0.0);
+        assert_eq!(
+            registry.names(),
+            vec!["alpha".to_string(), "zeta".to_string()]
+        );
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn with_series_exposes_full_stats() {
+        let registry = SensorRegistry::new();
+        for i in 0..10 {
+            registry.record("p", "W", i as f64, i as f64);
+        }
+        let trend = registry.with_series("p", |s| s.trend()).flatten().unwrap();
+        assert!((trend - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SensorRegistry>();
+    }
+}

@@ -1,0 +1,213 @@
+//! Service-level agreements over monitored metrics.
+//!
+//! The paper requires "guaranteeing SLA both at the server- and at the
+//! application-side ... related to the performance of the application, but
+//! also to the maximum power budget" (§IV). An [`Sla`] expresses one such
+//! objective over a sensor; [`Sla::check`] classifies measurements and
+//! accumulates a violation record used by the adaptive experiments (U2).
+
+use crate::series::TimeSeries;
+use std::fmt;
+
+/// Direction of a service-level objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlaKind {
+    /// The metric must stay at or below the threshold (latency, power).
+    UpperBound,
+    /// The metric must stay at or above the threshold (throughput, quality).
+    LowerBound,
+}
+
+/// A service-level objective over one metric.
+#[derive(Debug, Clone)]
+pub struct Sla {
+    name: String,
+    kind: SlaKind,
+    threshold: f64,
+    checked: u64,
+    violations: u64,
+    history: TimeSeries,
+}
+
+impl Sla {
+    /// Creates an upper-bound SLA (`metric <= threshold`).
+    pub fn upper_bound(name: impl Into<String>, threshold: f64) -> Self {
+        Sla::new(name, SlaKind::UpperBound, threshold)
+    }
+
+    /// Creates a lower-bound SLA (`metric >= threshold`).
+    pub fn lower_bound(name: impl Into<String>, threshold: f64) -> Self {
+        Sla::new(name, SlaKind::LowerBound, threshold)
+    }
+
+    fn new(name: impl Into<String>, kind: SlaKind, threshold: f64) -> Self {
+        Sla {
+            name: name.into(),
+            kind,
+            threshold,
+            checked: 0,
+            violations: 0,
+            history: TimeSeries::with_capacity(512),
+        }
+    }
+
+    /// Objective name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Objective direction.
+    pub fn kind(&self) -> SlaKind {
+        self.kind
+    }
+
+    /// Current threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Renegotiates the threshold (SLAs may be renegotiated at runtime).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    /// Returns `true` if `value` satisfies the objective.
+    pub fn satisfied_by(&self, value: f64) -> bool {
+        match self.kind {
+            SlaKind::UpperBound => value <= self.threshold,
+            SlaKind::LowerBound => value >= self.threshold,
+        }
+    }
+
+    /// Checks a measurement, recording it and counting violations.
+    /// Returns `true` when the objective is met.
+    pub fn check(&mut self, time: f64, value: f64) -> bool {
+        self.checked += 1;
+        self.history.push(time, value);
+        let ok = self.satisfied_by(value);
+        if !ok {
+            self.violations += 1;
+        }
+        ok
+    }
+
+    /// Headroom of a measurement: positive when satisfied, negative when
+    /// violating, normalized by the threshold magnitude when non-zero.
+    /// Controllers use this as their error signal.
+    pub fn headroom(&self, value: f64) -> f64 {
+        let raw = match self.kind {
+            SlaKind::UpperBound => self.threshold - value,
+            SlaKind::LowerBound => value - self.threshold,
+        };
+        if self.threshold.abs() > f64::EPSILON {
+            raw / self.threshold.abs()
+        } else {
+            raw
+        }
+    }
+
+    /// Summary of all checks so far.
+    pub fn report(&self) -> SlaReport {
+        SlaReport {
+            checked: self.checked,
+            violations: self.violations,
+        }
+    }
+
+    /// The recorded measurement history.
+    pub fn history(&self) -> &TimeSeries {
+        &self.history
+    }
+}
+
+/// Violation summary of an [`Sla`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlaReport {
+    /// Measurements checked.
+    pub checked: u64,
+    /// Measurements that violated the objective.
+    pub violations: u64,
+}
+
+impl SlaReport {
+    /// Fraction of checks that violated the objective (0 when unchecked).
+    pub fn violation_rate(&self) -> f64 {
+        if self.checked == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.checked as f64
+        }
+    }
+}
+
+impl fmt::Display for SlaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} violations ({:.1}%)",
+            self.violations,
+            self.checked,
+            100.0 * self.violation_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_bound_checks() {
+        let mut sla = Sla::upper_bound("latency", 0.5);
+        assert!(sla.check(0.0, 0.3));
+        assert!(!sla.check(1.0, 0.7));
+        assert!(sla.check(2.0, 0.5), "boundary satisfies");
+        let report = sla.report();
+        assert_eq!(report.checked, 3);
+        assert_eq!(report.violations, 1);
+        assert!((report.violation_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_checks() {
+        let mut sla = Sla::lower_bound("throughput", 100.0);
+        assert!(!sla.check(0.0, 80.0));
+        assert!(sla.check(1.0, 120.0));
+        assert_eq!(sla.report().violations, 1);
+    }
+
+    #[test]
+    fn headroom_signs() {
+        let sla = Sla::upper_bound("power", 200.0);
+        assert!(sla.headroom(150.0) > 0.0);
+        assert!(sla.headroom(250.0) < 0.0);
+        assert!((sla.headroom(150.0) - 0.25).abs() < 1e-12, "normalized");
+        let sla = Sla::lower_bound("quality", 0.9);
+        assert!(sla.headroom(0.95) > 0.0);
+        assert!(sla.headroom(0.5) < 0.0);
+    }
+
+    #[test]
+    fn renegotiation() {
+        let mut sla = Sla::upper_bound("latency", 0.5);
+        assert!(!sla.satisfied_by(0.8));
+        sla.set_threshold(1.0);
+        assert!(sla.satisfied_by(0.8));
+    }
+
+    #[test]
+    fn report_display() {
+        let mut sla = Sla::upper_bound("x", 1.0);
+        sla.check(0.0, 2.0);
+        assert_eq!(sla.report().to_string(), "1/1 violations (100.0%)");
+    }
+
+    #[test]
+    fn history_recorded() {
+        let mut sla = Sla::upper_bound("x", 1.0);
+        for i in 0..5 {
+            sla.check(i as f64, i as f64);
+        }
+        assert_eq!(sla.history().len(), 5);
+    }
+}

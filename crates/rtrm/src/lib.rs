@@ -1,0 +1,40 @@
+//! # antarex-rtrm — runtime resource & power management
+//!
+//! Implements the ANTAREX RTRM/RTPM work package (Silvano et al., DATE
+//! 2016, §V): "scalable and hierarchical optimal control-loops capable of
+//! dynamically leveraging the control knobs together with classical
+//! performance/energy control knobs (job dispatching, resource management
+//! and DVFS) at different time scale ... to always operate the
+//! supercomputer and each application at the most energy-efficient and
+//! thermally-safe point."
+//!
+//! * [`governor`] — DVFS governors: faithful re-implementations of the
+//!   Linux `performance`, `powersave`, `ondemand` and `conservative`
+//!   policies (the paper's baseline: "the default frequency selection of
+//!   the Linux OS power governor"), plus the ANTAREX energy-optimal
+//!   per-workload policy;
+//! * [`powercap`] — RAPL-style node power capping and cluster-level
+//!   budget distribution;
+//! * [`scheduler`] — FIFO and EASY-backfilling batch scheduling over the
+//!   simulated cluster;
+//! * [`dispatch`] — task-pool dispatch strategies for malleable workloads
+//!   (static partition, dynamic self-scheduling, heterogeneity-aware) —
+//!   the knobs of the drug-discovery use case;
+//! * [`thermal_ctrl`] — the thermally-safe operating point: junction
+//!   throttling plus the MS3-style "do less when it's too hot" admission
+//!   policy;
+//! * [`hierarchy`] — the multi-layer control loop composing cluster power
+//!   budgeting, job-level managers and node governors.
+
+pub mod dispatch;
+pub mod energy_sched;
+pub mod governor;
+pub mod hierarchy;
+pub mod powercap;
+pub mod replay;
+pub mod scheduler;
+pub mod thermal_ctrl;
+
+pub use governor::{Governor, GovernorKind};
+pub use powercap::PowerCapper;
+pub use scheduler::{BatchScheduler, SchedulerPolicy};

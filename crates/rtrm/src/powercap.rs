@@ -1,0 +1,184 @@
+//! RAPL-style power capping.
+//!
+//! Node-level capping picks the fastest P-state whose estimated full-load
+//! power stays under the cap; cluster-level capping splits a facility
+//! budget across nodes, either uniformly or weighted by demand — the
+//! "maximum power budget that can be allocated to a specific computation"
+//! from §IV.
+
+use antarex_sim::node::Node;
+
+/// Estimates the node's full-activity power at a P-state index, at the
+/// node's present temperature (the quantity a RAPL controller regulates).
+pub fn estimated_power_w(node: &Node, pstate_index: usize) -> f64 {
+    let pstate = node.spec().pstates.state(pstate_index);
+    let per_socket = node.spec().socket_power.total_w(
+        pstate,
+        1.0,
+        node.temp_c(),
+        node.variation().leakage_factor,
+    );
+    per_socket * node.spec().sockets as f64
+}
+
+/// A node power capper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCapper {
+    cap_w: f64,
+}
+
+impl PowerCapper {
+    /// Creates a capper with the given node budget in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cap is not positive.
+    pub fn new(cap_w: f64) -> Self {
+        assert!(cap_w > 0.0, "power cap must be positive");
+        PowerCapper { cap_w }
+    }
+
+    /// The budget.
+    pub fn cap_w(&self) -> f64 {
+        self.cap_w
+    }
+
+    /// Updates the budget.
+    pub fn set_cap(&mut self, cap_w: f64) {
+        assert!(cap_w > 0.0, "power cap must be positive");
+        self.cap_w = cap_w;
+    }
+
+    /// The fastest P-state whose estimated power respects the cap
+    /// (index 0 if even the slowest exceeds it — the cap is then
+    /// unenforceable and the caller should shed load instead).
+    pub fn admissible_pstate(&self, node: &Node) -> usize {
+        let mut chosen = 0;
+        for idx in 0..node.spec().pstates.len() {
+            if estimated_power_w(node, idx) <= self.cap_w {
+                chosen = idx;
+            }
+        }
+        chosen
+    }
+
+    /// Applies the cap: clamps the node's current P-state.
+    /// Returns the chosen index.
+    pub fn enforce(&self, node: &mut Node) -> usize {
+        let admissible = self.admissible_pstate(node);
+        if node.pstate_index() > admissible {
+            node.set_pstate(admissible);
+        }
+        node.pstate_index()
+    }
+}
+
+/// Splits a cluster budget uniformly across `nodes` nodes.
+pub fn uniform_split(budget_w: f64, nodes: usize) -> Vec<f64> {
+    assert!(nodes > 0, "no nodes to budget");
+    vec![budget_w / nodes as f64; nodes]
+}
+
+/// Splits a cluster budget proportionally to per-node demand weights
+/// (e.g. queued work); weights of zero receive an idle floor of 5% of the
+/// uniform share.
+pub fn weighted_split(budget_w: f64, weights: &[f64]) -> Vec<f64> {
+    assert!(!weights.is_empty(), "no nodes to budget");
+    let floor = 0.05 * budget_w / weights.len() as f64;
+    let reserve = floor * weights.len() as f64;
+    let remaining = (budget_w - reserve).max(0.0);
+    let total: f64 = weights.iter().sum();
+    weights
+        .iter()
+        .map(|w| {
+            if total > 0.0 {
+                floor + remaining * w / total
+            } else {
+                budget_w / weights.len() as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antarex_sim::job::WorkUnit;
+    use antarex_sim::node::NodeSpec;
+
+    #[test]
+    fn estimated_power_grows_with_pstate() {
+        let node = Node::nominal(NodeSpec::cineca_xeon(), 0);
+        let lo = estimated_power_w(&node, 0);
+        let hi = estimated_power_w(&node, node.spec().pstates.max_index());
+        assert!(hi > lo * 1.5);
+    }
+
+    #[test]
+    fn cap_selects_fastest_admissible_state() {
+        let node = Node::nominal(NodeSpec::cineca_xeon(), 0);
+        let hi_power = estimated_power_w(&node, node.spec().pstates.max_index());
+        // generous cap: fastest state allowed
+        let capper = PowerCapper::new(hi_power + 10.0);
+        assert_eq!(
+            capper.admissible_pstate(&node),
+            node.spec().pstates.max_index()
+        );
+        // tight cap: must back off
+        let capper = PowerCapper::new(hi_power * 0.6);
+        let idx = capper.admissible_pstate(&node);
+        assert!(idx < node.spec().pstates.max_index());
+        assert!(estimated_power_w(&node, idx) <= hi_power * 0.6);
+    }
+
+    #[test]
+    fn enforce_clamps_but_never_raises() {
+        let mut node = Node::nominal(NodeSpec::cineca_xeon(), 0);
+        node.set_pstate(2);
+        let generous = PowerCapper::new(1e6);
+        assert_eq!(generous.enforce(&mut node), 2, "cap must not overclock");
+        node.set_pstate(node.spec().pstates.max_index());
+        let tight = PowerCapper::new(estimated_power_w(&node, 3));
+        let chosen = tight.enforce(&mut node);
+        assert!(chosen <= 3);
+    }
+
+    #[test]
+    fn capped_node_draws_less_power() {
+        let work = WorkUnit::compute_bound(1e12);
+        let mut free = Node::nominal(NodeSpec::cineca_xeon(), 0);
+        let uncapped = free.execute(&work);
+        let mut capped = Node::nominal(NodeSpec::cineca_xeon(), 1);
+        PowerCapper::new(uncapped.avg_power_w * 0.7).enforce(&mut capped);
+        let capped_outcome = capped.execute(&work);
+        assert!(capped_outcome.avg_power_w < uncapped.avg_power_w);
+        assert!(
+            capped_outcome.time_s > uncapped.time_s,
+            "capping costs time"
+        );
+    }
+
+    #[test]
+    fn uniform_and_weighted_splits_conserve_budget() {
+        let uniform = uniform_split(1000.0, 4);
+        assert_eq!(uniform, vec![250.0; 4]);
+        let weighted = weighted_split(1000.0, &[3.0, 1.0, 0.0, 0.0]);
+        let total: f64 = weighted.iter().sum();
+        assert!((total - 1000.0).abs() < 1e-9);
+        assert!(weighted[0] > weighted[1]);
+        assert!(weighted[2] > 0.0, "idle floor present");
+        assert_eq!(weighted[2], weighted[3]);
+    }
+
+    #[test]
+    fn weighted_split_with_all_zero_weights_is_uniform() {
+        let split = weighted_split(400.0, &[0.0, 0.0]);
+        assert_eq!(split, vec![200.0, 200.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cap_rejected() {
+        let _ = PowerCapper::new(0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cluster: a population of nodes plus the facility around them.
+
+use crate::cooling::CoolingPlant;
+use crate::node::{Node, NodeSpec};
+use crate::variability::ProcessVariation;
+use rand::Rng;
+
+/// A cluster of (possibly heterogeneous) nodes behind one cooling plant.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    plant: CoolingPlant,
+    ambient_c: f64,
+}
+
+impl Cluster {
+    /// Builds a homogeneous cluster of `count` nodes from one spec, each
+    /// stamped with a sampled process corner.
+    pub fn homogeneous(spec: NodeSpec, count: usize, rng: &mut impl Rng) -> Self {
+        let nodes = (0..count)
+            .map(|i| Node::with_variation(spec.clone(), i, ProcessVariation::sample(rng)))
+            .collect();
+        Cluster {
+            nodes,
+            plant: CoolingPlant::european_datacenter(),
+            ambient_c: 14.0,
+        }
+    }
+
+    /// Builds a cluster from explicit nodes.
+    pub fn from_nodes(nodes: Vec<Node>) -> Self {
+        Cluster {
+            nodes,
+            plant: CoolingPlant::european_datacenter(),
+            ambient_c: 14.0,
+        }
+    }
+
+    /// Replaces the cooling plant.
+    pub fn with_plant(mut self, plant: CoolingPlant) -> Self {
+        self.plant = plant;
+        self
+    }
+
+    /// Sets the outside ambient temperature and propagates a derived
+    /// inlet temperature to every node (inlet tracks ambient above the
+    /// free-cooling limit).
+    pub fn set_ambient(&mut self, ambient_c: f64) {
+        self.ambient_c = ambient_c;
+        let inlet = 18.0 + (ambient_c - 18.0).max(0.0) * 0.5 + 6.0;
+        for node in &mut self.nodes {
+            node.set_inlet_temp(inlet);
+        }
+    }
+
+    /// Current ambient temperature.
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// The cooling plant.
+    pub fn plant(&self) -> &CoolingPlant {
+        &self.plant
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Mutable node access.
+    pub fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+
+    /// One node by id.
+    pub fn node(&self, id: usize) -> Option<&Node> {
+        self.nodes.get(id)
+    }
+
+    /// Mutable access to one node.
+    pub fn node_mut(&mut self, id: usize) -> Option<&mut Node> {
+        self.nodes.get_mut(id)
+    }
+
+    /// Total IT energy consumed so far, joules.
+    pub fn it_energy_j(&self) -> f64 {
+        self.nodes.iter().map(Node::energy_j).sum()
+    }
+
+    /// Total useful flops performed so far.
+    pub fn flops_done(&self) -> f64 {
+        self.nodes.iter().map(Node::flops_done).sum()
+    }
+
+    /// Facility energy (IT × PUE at the current ambient) for a given IT
+    /// energy, joules.
+    pub fn facility_energy_j(&self, it_energy_j: f64) -> f64 {
+        // energy-weighted PUE at constant ambient: scale by instantaneous
+        // PUE computed at a representative 70% load
+        let representative_power = 1.0;
+        it_energy_j * self.plant.pue(representative_power, self.ambient_c)
+    }
+
+    /// Cluster-level efficiency so far, MFLOPS per facility watt.
+    pub fn facility_mflops_per_watt(&self) -> f64 {
+        let it = self.it_energy_j();
+        if it == 0.0 {
+            return 0.0;
+        }
+        self.flops_done() / 1e6 / self.facility_energy_j(it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::WorkUnit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn homogeneous_cluster_construction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cluster = Cluster::homogeneous(NodeSpec::cineca_xeon(), 16, &mut rng);
+        assert_eq!(cluster.len(), 16);
+        // corners differ between nodes
+        let l0 = cluster.node(0).unwrap().variation().leakage_factor;
+        let l1 = cluster.node(1).unwrap().variation().leakage_factor;
+        assert_ne!(l0, l1);
+    }
+
+    #[test]
+    fn ambient_propagates_to_inlets() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cluster = Cluster::homogeneous(NodeSpec::cineca_xeon(), 4, &mut rng);
+        cluster.set_ambient(30.0);
+        let hot_inlet = cluster.node(0).unwrap().inlet_temp_c();
+        cluster.set_ambient(5.0);
+        let cold_inlet = cluster.node(0).unwrap().inlet_temp_c();
+        assert!(hot_inlet > cold_inlet);
+    }
+
+    #[test]
+    fn energy_accounting_aggregates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cluster = Cluster::homogeneous(NodeSpec::cineca_xeon(), 4, &mut rng);
+        for node in cluster.nodes_mut() {
+            node.execute(&WorkUnit::compute_bound(1e12));
+        }
+        assert!(cluster.it_energy_j() > 0.0);
+        assert_eq!(cluster.flops_done(), 4e12);
+        assert!(cluster.facility_energy_j(cluster.it_energy_j()) > cluster.it_energy_j());
+        assert!(cluster.facility_mflops_per_watt() > 0.0);
+    }
+
+    #[test]
+    fn summer_facility_energy_exceeds_winter() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cluster = Cluster::homogeneous(NodeSpec::cineca_xeon(), 2, &mut rng);
+        cluster.set_ambient(crate::cooling::ambient_temp_c(crate::cooling::WINTER_DAY));
+        let winter = cluster.facility_energy_j(1e9);
+        cluster.set_ambient(crate::cooling::ambient_temp_c(crate::cooling::SUMMER_DAY));
+        let summer = cluster.facility_energy_j(1e9);
+        assert!(summer / winter > 1.10);
+    }
+}

@@ -1,0 +1,147 @@
+//! Cooling plant, seasonal ambient temperature and PUE accounting.
+//!
+//! Paper §V: "environmental conditions, such as ambient temperature, can
+//! significantly change the overall cooling efficiency of a supercomputer,
+//! causing more than 10% Power usage effectiveness (PUE) loss when
+//! transitioning from winter to summer" (citing the MS3 scheduler work).
+//! The plant here combines free cooling (cheap, available when the
+//! outside air is cold enough) with a chiller whose coefficient of
+//! performance degrades as the condenser-side (ambient) temperature
+//! rises.
+
+use serde::{Deserialize, Serialize};
+
+/// Cooling-plant parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingPlant {
+    /// Ambient temperature below which free cooling covers the full load.
+    pub free_cooling_limit_c: f64,
+    /// Fan/pump power as a fraction of IT power under free cooling.
+    pub free_cooling_overhead: f64,
+    /// Carnot efficiency fraction of the chiller (real chillers achieve
+    /// 40–60% of the Carnot COP).
+    pub chiller_carnot_fraction: f64,
+    /// Chilled-water supply temperature, °C.
+    pub chw_supply_c: f64,
+    /// Facility distribution overhead (UPS, lighting) as a fraction of IT
+    /// power, always present.
+    pub distribution_overhead: f64,
+}
+
+impl CoolingPlant {
+    /// A modern European data centre: free cooling up to 14 °C ambient,
+    /// 18 °C chilled water, 45% of Carnot, 8% distribution losses.
+    pub fn european_datacenter() -> Self {
+        CoolingPlant {
+            free_cooling_limit_c: 14.0,
+            free_cooling_overhead: 0.06,
+            chiller_carnot_fraction: 0.45,
+            chw_supply_c: 18.0,
+            distribution_overhead: 0.08,
+        }
+    }
+
+    /// Chiller coefficient of performance at the given ambient
+    /// temperature (∞ is never returned; COP is clamped to `[1, 20]`).
+    pub fn chiller_cop(&self, ambient_c: f64) -> f64 {
+        let t_cold = self.chw_supply_c + 273.15;
+        // condenser runs ~10 °C above ambient
+        let t_hot = ambient_c + 10.0 + 273.15;
+        let lift = (t_hot - t_cold).max(1.0);
+        (self.chiller_carnot_fraction * t_cold / lift).clamp(1.0, 20.0)
+    }
+
+    /// Cooling power drawn to remove `it_power_w` of heat at the given
+    /// ambient temperature.
+    pub fn cooling_power_w(&self, it_power_w: f64, ambient_c: f64) -> f64 {
+        if ambient_c <= self.free_cooling_limit_c {
+            return it_power_w * self.free_cooling_overhead;
+        }
+        // partial free cooling tapers off linearly over a 10 °C band
+        let chiller_share = ((ambient_c - self.free_cooling_limit_c) / 10.0).clamp(0.0, 1.0);
+        let free_share = 1.0 - chiller_share;
+        let chiller_power = it_power_w * chiller_share / self.chiller_cop(ambient_c);
+        let fan_power = it_power_w * self.free_cooling_overhead;
+        chiller_power + fan_power + free_share * 0.0
+    }
+
+    /// Power usage effectiveness at the given ambient temperature:
+    /// `(IT + cooling + distribution) / IT`.
+    pub fn pue(&self, it_power_w: f64, ambient_c: f64) -> f64 {
+        if it_power_w <= 0.0 {
+            return f64::INFINITY;
+        }
+        let cooling = self.cooling_power_w(it_power_w, ambient_c);
+        let distribution = it_power_w * self.distribution_overhead;
+        (it_power_w + cooling + distribution) / it_power_w
+    }
+}
+
+/// Mean daily ambient temperature (°C) for a day of the year in a
+/// continental European climate: a sinusoid from ≈2 °C (late January) to
+/// ≈26 °C (late July).
+pub fn ambient_temp_c(day_of_year: u32) -> f64 {
+    let day = f64::from(day_of_year % 365);
+    // minimum around day 25, maximum around day 207
+    14.0 + 12.0 * ((day - 207.0) / 365.0 * std::f64::consts::TAU).cos()
+}
+
+/// Representative winter day (mid-January).
+pub const WINTER_DAY: u32 = 15;
+/// Representative summer day (mid-July).
+pub const SUMMER_DAY: u32 = 196;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seasons_have_the_right_shape() {
+        let winter = ambient_temp_c(WINTER_DAY);
+        let summer = ambient_temp_c(SUMMER_DAY);
+        assert!(winter < 8.0, "winter {winter}");
+        assert!(summer > 22.0, "summer {summer}");
+        // continuous across the year boundary
+        assert!((ambient_temp_c(364) - ambient_temp_c(0)).abs() < 0.5);
+    }
+
+    #[test]
+    fn cop_degrades_with_ambient() {
+        let plant = CoolingPlant::european_datacenter();
+        assert!(plant.chiller_cop(15.0) > plant.chiller_cop(35.0));
+        assert!(plant.chiller_cop(35.0) >= 1.0);
+    }
+
+    #[test]
+    fn winter_pue_beats_summer_by_over_10_percent() {
+        // the paper's §V claim (C4)
+        let plant = CoolingPlant::european_datacenter();
+        let it = 1e6; // 1 MW of IT load
+        let winter = plant.pue(it, ambient_temp_c(WINTER_DAY));
+        let summer = plant.pue(it, ambient_temp_c(SUMMER_DAY));
+        assert!(winter < summer);
+        let loss = (summer - winter) / winter;
+        assert!(
+            loss > 0.10,
+            "summer PUE {summer:.3} vs winter {winter:.3}: loss {loss:.3} <= 10%"
+        );
+        // both stay in a realistic band
+        assert!((1.05..1.35).contains(&winter), "winter PUE {winter}");
+        assert!((1.15..1.7).contains(&summer), "summer PUE {summer}");
+    }
+
+    #[test]
+    fn free_cooling_is_cheap() {
+        let plant = CoolingPlant::european_datacenter();
+        let cold = plant.cooling_power_w(1e6, 5.0);
+        let hot = plant.cooling_power_w(1e6, 30.0);
+        assert!(cold < 0.1e6);
+        assert!(hot > 2.0 * cold);
+    }
+
+    #[test]
+    fn pue_of_zero_it_power_is_infinite() {
+        let plant = CoolingPlant::european_datacenter();
+        assert!(plant.pue(0.0, 20.0).is_infinite());
+    }
+}

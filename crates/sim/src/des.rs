@@ -1,0 +1,235 @@
+//! Deterministic discrete-event engine.
+//!
+//! A small, generic event queue: events are ordered by time, with a
+//! monotonically increasing sequence number breaking ties so that events
+//! scheduled earlier fire earlier (FIFO at equal timestamps) — the
+//! property every scheduler in `antarex-rtrm` relies on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with a simulation clock.
+///
+/// # Examples
+///
+/// ```
+/// use antarex_sim::des::EventQueue;
+///
+/// let mut queue = EventQueue::new();
+/// queue.schedule(2.0, "later");
+/// queue.schedule(1.0, "sooner");
+/// assert_eq!(queue.pop(), Some((1.0, "sooner")));
+/// assert_eq!(queue.now(), 1.0);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: f64,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules an event at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or earlier than the current clock (events
+    /// cannot fire in the past).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule at {time} before current time {}",
+            self.now
+        );
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules an event `delay` seconds from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let scheduled = self.heap.pop()?;
+        self.now = scheduled.time;
+        Some((scheduled.time, scheduled.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains events until the queue empties or `until` is reached,
+    /// calling `handle` for each; `handle` may schedule follow-up events.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, until: f64, mut handle: impl FnMut(&mut Self, f64, E)) -> usize {
+        let mut processed = 0;
+        while let Some(time) = self.peek_time() {
+            if time > until {
+                break;
+            }
+            let (time, event) = self.pop().expect("peeked");
+            handle(self, time, event);
+            processed += 1;
+        }
+        processed
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 'c');
+        q.schedule(1.0, 'a');
+        q.schedule(2.0, 'b');
+        assert_eq!(q.pop(), Some((1.0, 'a')));
+        assert_eq!(q.pop(), Some((2.0, 'b')));
+        assert_eq!(q.pop(), Some((3.0, 'c')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.schedule(1.0, "second");
+        q.schedule(1.0, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.schedule(1.0, ());
+        let mut last = 0.0;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    fn run_until_processes_cascading_events() {
+        let mut q = EventQueue::new();
+        q.schedule(0.0, 3u32); // countdown event: reschedules itself
+        let mut fired = Vec::new();
+        let processed = q.run_until(100.0, |q, t, remaining| {
+            fired.push((t, remaining));
+            if remaining > 0 {
+                q.schedule_in(1.0, remaining - 1);
+            }
+        });
+        assert_eq!(processed, 4);
+        assert_eq!(fired, vec![(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, ());
+        q.schedule(10.0, ());
+        let processed = q.run_until(5.0, |_, _, ()| {});
+        assert_eq!(processed, 1);
+        assert_eq!(q.len(), 1, "the t=10 event remains");
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, "base");
+        q.pop();
+        q.schedule_in(3.0, "rel");
+        assert_eq!(q.peek_time(), Some(5.0));
+    }
+}

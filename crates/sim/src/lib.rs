@@ -1,0 +1,60 @@
+//! # antarex-sim — heterogeneous HPC platform simulator
+//!
+//! The ANTAREX runtime work package (Silvano et al., DATE 2016, §V–§VI)
+//! targets petascale machines — CINECA's Xeon+MIC cluster and IT4I's
+//! Salomon — whose physical behaviour drives every claim in the paper:
+//! per-chip manufacturing variability (≈15% energy spread), frequency/
+//! voltage-dependent power (18–50% energy left on the table by the default
+//! Linux governor), and an ambient-temperature-dependent cooling plant
+//! (>10% PUE degradation from winter to summer). This crate simulates
+//! those mechanisms:
+//!
+//! * [`des`] — a deterministic discrete-event engine;
+//! * [`dvfs`] — P-state tables (frequency/voltage pairs);
+//! * [`power`] — dynamic (`C·V²·f`) plus temperature-dependent leakage
+//!   power;
+//! * [`thermal`] — first-order RC thermal model per node;
+//! * [`variability`] — per-chip process variation (leakage and frequency);
+//! * [`accelerator`] — GPGPU and MIC (Xeon Phi) accelerator models;
+//! * [`node`] — a compute node: roofline execution model over cores +
+//!   accelerators, DVFS, power and thermal integration;
+//! * [`cooling`] — chiller/free-cooling plant with seasonal ambient
+//!   temperature and PUE accounting;
+//! * [`cluster`] — racks of nodes with facility-level energy accounting;
+//! * [`job`] / [`workload`] — tasks, jobs and the workload generators used
+//!   by the use cases (including the heavy-tailed docking sweep);
+//! * [`metrics`] — FLOPS/W and energy bookkeeping.
+//!
+//! All stochastic components draw from caller-provided RNGs; the simulator
+//! is fully deterministic given a seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use antarex_sim::node::{Node, NodeSpec};
+//! use antarex_sim::job::WorkUnit;
+//!
+//! let mut node = Node::nominal(NodeSpec::cineca_xeon(), 0);
+//! let outcome = node.execute(&WorkUnit::compute_bound(1e12));
+//! assert!(outcome.time_s > 0.0);
+//! assert!(outcome.energy_j > 0.0);
+//! ```
+
+pub mod accelerator;
+pub mod cluster;
+pub mod cooling;
+pub mod des;
+pub mod dvfs;
+pub mod interconnect;
+pub mod job;
+pub mod metrics;
+pub mod node;
+pub mod power;
+pub mod thermal;
+pub mod variability;
+pub mod workload;
+
+pub use cluster::Cluster;
+pub use des::EventQueue;
+pub use dvfs::{PState, PStateTable};
+pub use node::{ExecOutcome, Node, NodeSpec};

@@ -1,0 +1,98 @@
+//! Energy and efficiency bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// Joules per kilowatt-hour.
+pub const J_PER_KWH: f64 = 3.6e6;
+
+/// Converts joules to kilowatt-hours.
+pub fn joules_to_kwh(joules: f64) -> f64 {
+    joules / J_PER_KWH
+}
+
+/// Green500-style efficiency: MFLOPS per watt, i.e. megaflops per joule.
+pub fn mflops_per_watt(flops: f64, energy_j: f64) -> f64 {
+    if energy_j <= 0.0 {
+        return 0.0;
+    }
+    flops / 1e6 / energy_j
+}
+
+/// Energy-delay product, J·s — the classical combined metric.
+pub fn energy_delay_product(energy_j: f64, time_s: f64) -> f64 {
+    energy_j * time_s
+}
+
+/// An accumulating energy/work account for one experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    /// Useful floating-point work performed.
+    pub flops: f64,
+    /// IT (node-level) energy, joules.
+    pub it_energy_j: f64,
+    /// Facility energy including cooling and distribution, joules.
+    pub facility_energy_j: f64,
+    /// Wall-clock time, seconds.
+    pub time_s: f64,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a contribution.
+    pub fn add(&mut self, flops: f64, it_energy_j: f64, facility_energy_j: f64, time_s: f64) {
+        self.flops += flops;
+        self.it_energy_j += it_energy_j;
+        self.facility_energy_j += facility_energy_j;
+        self.time_s += time_s;
+    }
+
+    /// IT-level efficiency, MFLOPS/W.
+    pub fn it_mflops_per_watt(&self) -> f64 {
+        mflops_per_watt(self.flops, self.it_energy_j)
+    }
+
+    /// Facility-level efficiency, MFLOPS/W.
+    pub fn facility_mflops_per_watt(&self) -> f64 {
+        mflops_per_watt(self.flops, self.facility_energy_j)
+    }
+
+    /// Effective PUE of the accumulated run.
+    pub fn pue(&self) -> f64 {
+        if self.it_energy_j <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.facility_energy_j / self.it_energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert!((joules_to_kwh(3.6e6) - 1.0).abs() < 1e-12);
+        assert_eq!(mflops_per_watt(1e12, 1000.0), 1e6 / 1000.0);
+        assert_eq!(mflops_per_watt(1e12, 0.0), 0.0);
+        assert_eq!(energy_delay_product(10.0, 2.0), 20.0);
+    }
+
+    #[test]
+    fn account_accumulates_and_derives() {
+        let mut acct = EnergyAccount::new();
+        acct.add(1e12, 500.0, 650.0, 10.0);
+        acct.add(1e12, 500.0, 650.0, 10.0);
+        assert_eq!(acct.flops, 2e12);
+        assert!((acct.pue() - 1.3).abs() < 1e-12);
+        assert!(acct.it_mflops_per_watt() > acct.facility_mflops_per_watt());
+    }
+
+    #[test]
+    fn empty_account_pue_is_infinite() {
+        assert!(EnergyAccount::new().pue().is_infinite());
+    }
+}

@@ -1,0 +1,215 @@
+//! Design-space exploration: building the knowledge base at design time.
+//!
+//! DSE runs a search technique against an evaluator that returns *all*
+//! metrics of a configuration (not just a scalar cost) and records every
+//! evaluation as an operating point. The resulting
+//! [`crate::point::KnowledgeBase`] is handed to the runtime
+//! [`AppManager`](crate::manager::AppManager).
+
+use crate::goal::Objective;
+use crate::point::{KnowledgeBase, OperatingPoint};
+use crate::search::SearchTechnique;
+use crate::space::{Configuration, DesignSpace};
+use rand::RngCore;
+use std::collections::BTreeMap;
+
+/// Result of a design-space exploration run.
+#[derive(Debug, Clone)]
+pub struct DseReport {
+    /// Every evaluated operating point.
+    pub knowledge: KnowledgeBase,
+    /// Evaluations performed.
+    pub evaluations: usize,
+    /// Best configuration under the DSE objective.
+    pub best: Option<Configuration>,
+}
+
+impl DseReport {
+    /// The Pareto-optimal operating points under the given metrics (all
+    /// minimized) — the multi-objective view the runtime manager filters
+    /// at deployment time.
+    pub fn pareto(&self, metrics: &[&str]) -> Vec<&crate::point::OperatingPoint> {
+        self.knowledge.pareto(metrics)
+    }
+}
+
+/// Explores the design space, measuring all metrics per configuration.
+///
+/// `eval` returns named metrics; `objective` steers the search (its metric
+/// is used as the scalar cost signal for the technique).
+///
+/// # Examples
+///
+/// ```
+/// use antarex_tuner::dse::explore;
+/// use antarex_tuner::goal::Objective;
+/// use antarex_tuner::knob::Knob;
+/// use antarex_tuner::search::exhaustive::Exhaustive;
+/// use antarex_tuner::space::DesignSpace;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let space = DesignSpace::new(vec![Knob::int("n", 1, 4, 1)]);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let report = explore(
+///     &space,
+///     Box::new(Exhaustive::new()),
+///     &Objective::minimize("time"),
+///     100,
+///     &mut rng,
+///     |cfg| {
+///         let n = cfg.get_int("n").unwrap() as f64;
+///         [("time".to_string(), 10.0 / n), ("energy".to_string(), n)].into()
+///     },
+/// );
+/// assert_eq!(report.evaluations, 4);
+/// assert_eq!(report.best.unwrap().get_int("n"), Some(4));
+/// ```
+pub fn explore(
+    space: &DesignSpace,
+    mut technique: Box<dyn SearchTechnique>,
+    objective: &Objective,
+    budget: usize,
+    rng: &mut dyn RngCore,
+    mut eval: impl FnMut(&Configuration) -> BTreeMap<String, f64>,
+) -> DseReport {
+    let mut knowledge = KnowledgeBase::new();
+    let mut best: Option<(Configuration, f64)> = None;
+    let mut evaluations = 0;
+    let mut proposals = 0;
+    let cap = budget.saturating_mul(10).max(budget);
+    while evaluations < budget && proposals < cap {
+        let Some(config) = technique.propose(space, rng) else {
+            break;
+        };
+        proposals += 1;
+        if let Some(point) = knowledge.find(&config) {
+            if let Some(value) = point.metric(objective.metric()) {
+                technique.feedback(&config, -objective.score(value));
+            }
+            continue;
+        }
+        let metrics = eval(&config);
+        evaluations += 1;
+        let value = metrics.get(objective.metric()).copied();
+        knowledge.push(OperatingPoint::new(config.clone(), metrics));
+        if let Some(value) = value {
+            let score = objective.score(value);
+            if best.as_ref().is_none_or(|(_, b)| score > *b) {
+                best = Some((config.clone(), score));
+            }
+            // techniques minimize: negate the score
+            technique.feedback(&config, -score);
+        }
+    }
+    DseReport {
+        knowledge,
+        evaluations,
+        best: best.map(|(c, _)| c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knob::Knob;
+    use crate::search::exhaustive::Exhaustive;
+    use crate::search::random::RandomSearch;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> DesignSpace {
+        DesignSpace::new(vec![Knob::int("unroll", 1, 8, 1)])
+    }
+
+    fn metrics(cfg: &Configuration) -> BTreeMap<String, f64> {
+        let u = cfg.get_int("unroll").unwrap() as f64;
+        [
+            ("time".to_string(), 16.0 / u),
+            ("energy".to_string(), u * u),
+        ]
+        .into()
+    }
+
+    #[test]
+    fn exhaustive_dse_builds_full_knowledge_base() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = explore(
+            &space(),
+            Box::new(Exhaustive::new()),
+            &Objective::minimize("time"),
+            100,
+            &mut rng,
+            metrics,
+        );
+        assert_eq!(report.knowledge.len(), 8);
+        assert_eq!(report.best.unwrap().get_int("unroll"), Some(8));
+        // both metrics recorded
+        let p = &report.knowledge.points()[0];
+        assert!(p.metric("time").is_some() && p.metric("energy").is_some());
+    }
+
+    #[test]
+    fn maximize_objective_flips_best() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = explore(
+            &space(),
+            Box::new(Exhaustive::new()),
+            &Objective::maximize("time"),
+            100,
+            &mut rng,
+            metrics,
+        );
+        assert_eq!(report.best.unwrap().get_int("unroll"), Some(1));
+    }
+
+    #[test]
+    fn budget_limits_evaluations() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = explore(
+            &space(),
+            Box::new(RandomSearch::new()),
+            &Objective::minimize("time"),
+            3,
+            &mut rng,
+            metrics,
+        );
+        assert_eq!(report.evaluations, 3);
+        assert_eq!(report.knowledge.len(), 3);
+    }
+
+    #[test]
+    fn pareto_view_of_the_exploration() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = explore(
+            &space(),
+            Box::new(Exhaustive::new()),
+            &Objective::minimize("time"),
+            100,
+            &mut rng,
+            metrics,
+        );
+        let front = report.pareto(&["time", "energy"]);
+        // time = 16/u (decreasing), energy = u^2 (increasing): every
+        // point is non-dominated
+        assert_eq!(front.len(), 8);
+    }
+
+    #[test]
+    fn duplicate_proposals_reuse_cache() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut calls = 0;
+        let report = explore(
+            &space(),
+            Box::new(RandomSearch::new()),
+            &Objective::minimize("time"),
+            50,
+            &mut rng,
+            |cfg| {
+                calls += 1;
+                metrics(cfg)
+            },
+        );
+        assert!(calls <= 8, "only 8 distinct configurations exist");
+        assert_eq!(report.evaluations, calls);
+    }
+}

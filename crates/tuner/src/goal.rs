@@ -1,0 +1,163 @@
+//! Objectives and constraints over measured metrics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Smaller is better.
+    Minimize,
+    /// Larger is better.
+    Maximize,
+}
+
+/// The tuning objective: one metric plus a direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    metric: String,
+    direction: Direction,
+}
+
+impl Objective {
+    /// Minimizes `metric`.
+    pub fn minimize(metric: impl Into<String>) -> Self {
+        Objective {
+            metric: metric.into(),
+            direction: Direction::Minimize,
+        }
+    }
+
+    /// Maximizes `metric`.
+    pub fn maximize(metric: impl Into<String>) -> Self {
+        Objective {
+            metric: metric.into(),
+            direction: Direction::Maximize,
+        }
+    }
+
+    /// The metric name.
+    pub fn metric(&self) -> &str {
+        &self.metric
+    }
+
+    /// The direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Maps a metric value to a score where larger is always better.
+    pub fn score(&self, value: f64) -> f64 {
+        match self.direction {
+            Direction::Minimize => -value,
+            Direction::Maximize => value,
+        }
+    }
+
+    /// Returns `true` if `candidate` improves on `incumbent`.
+    pub fn improves(&self, candidate: f64, incumbent: f64) -> bool {
+        self.score(candidate) > self.score(incumbent)
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.direction {
+            Direction::Minimize => write!(f, "minimize {}", self.metric),
+            Direction::Maximize => write!(f, "maximize {}", self.metric),
+        }
+    }
+}
+
+/// A feasibility constraint on one metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    metric: String,
+    bound: f64,
+    upper: bool,
+}
+
+impl Constraint {
+    /// Requires `metric <= bound`.
+    pub fn at_most(metric: impl Into<String>, bound: f64) -> Self {
+        Constraint {
+            metric: metric.into(),
+            bound,
+            upper: true,
+        }
+    }
+
+    /// Requires `metric >= bound`.
+    pub fn at_least(metric: impl Into<String>, bound: f64) -> Self {
+        Constraint {
+            metric: metric.into(),
+            bound,
+            upper: false,
+        }
+    }
+
+    /// The constrained metric.
+    pub fn metric(&self) -> &str {
+        &self.metric
+    }
+
+    /// The bound.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Adjusts the bound (runtime SLA renegotiation).
+    pub fn set_bound(&mut self, bound: f64) {
+        self.bound = bound;
+    }
+
+    /// Returns `true` if `value` satisfies the constraint.
+    pub fn satisfied_by(&self, value: f64) -> bool {
+        if self.upper {
+            value <= self.bound
+        } else {
+            value >= self.bound
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = if self.upper { "<=" } else { ">=" };
+        write!(f, "{} {op} {}", self.metric, self.bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_scores() {
+        let min = Objective::minimize("time");
+        assert!(min.improves(1.0, 2.0));
+        assert!(!min.improves(2.0, 1.0));
+        let max = Objective::maximize("throughput");
+        assert!(max.improves(2.0, 1.0));
+        assert_eq!(min.to_string(), "minimize time");
+    }
+
+    #[test]
+    fn constraint_directions() {
+        let upper = Constraint::at_most("power", 200.0);
+        assert!(upper.satisfied_by(150.0));
+        assert!(upper.satisfied_by(200.0));
+        assert!(!upper.satisfied_by(250.0));
+        let lower = Constraint::at_least("quality", 0.9);
+        assert!(lower.satisfied_by(0.95));
+        assert!(!lower.satisfied_by(0.8));
+        assert_eq!(upper.to_string(), "power <= 200");
+    }
+
+    #[test]
+    fn renegotiation() {
+        let mut c = Constraint::at_most("latency", 1.0);
+        c.set_bound(2.0);
+        assert!(c.satisfied_by(1.5));
+    }
+}

@@ -1,0 +1,369 @@
+//! The application self-tuning runtime manager (mARGOt-style ASRTM).
+//!
+//! The manager owns the knowledge base produced at design time, the
+//! application's goals (one objective + SLA constraints), and the runtime
+//! monitors. Each adaptation round it (1) folds fresh measurements back
+//! into the knowledge base — online learning, (2) filters operating points
+//! by the constraints, (3) ranks by the objective, and (4) switches the
+//! application's configuration if a better feasible point emerged. This is
+//! the per-application "autotuning control loop" of the paper's Fig. 1.
+
+use crate::goal::{Constraint, Objective};
+use crate::point::{KnowledgeBase, OperatingPoint};
+use crate::space::Configuration;
+use antarex_monitor::cada::Decision;
+use antarex_monitor::series::TimeSeries;
+use std::collections::BTreeMap;
+
+/// The per-application runtime autotuner.
+///
+/// # Examples
+///
+/// ```
+/// use antarex_tuner::{AppManager, Configuration, KnobValue, KnowledgeBase, OperatingPoint};
+/// use antarex_tuner::goal::{Constraint, Objective};
+///
+/// let mut quality = Configuration::new();
+/// quality.set("alternatives", KnobValue::Int(8));
+/// let mut fast = Configuration::new();
+/// fast.set("alternatives", KnobValue::Int(1));
+/// let kb: KnowledgeBase = [
+///     OperatingPoint::new(quality, [("latency".into(), 0.9), ("quality".into(), 1.0)]),
+///     OperatingPoint::new(fast, [("latency".into(), 0.1), ("quality".into(), 0.4)]),
+/// ].into_iter().collect();
+///
+/// let mut manager = AppManager::new(kb, Objective::maximize("quality"));
+/// manager.add_constraint(Constraint::at_most("latency", 0.5));
+/// let chosen = manager.select().unwrap();
+/// assert_eq!(chosen.get_int("alternatives"), Some(1), "0.9 s point violates the SLA");
+/// ```
+#[derive(Debug)]
+pub struct AppManager {
+    knowledge: KnowledgeBase,
+    objective: Objective,
+    constraints: Vec<Constraint>,
+    current: Option<Configuration>,
+    monitors: BTreeMap<String, TimeSeries>,
+    learn_alpha: f64,
+    switches: u64,
+    last_adapt: f64,
+}
+
+impl AppManager {
+    /// Creates a manager over a design-time knowledge base.
+    pub fn new(knowledge: KnowledgeBase, objective: Objective) -> Self {
+        AppManager {
+            knowledge,
+            objective,
+            constraints: Vec::new(),
+            current: None,
+            monitors: BTreeMap::new(),
+            learn_alpha: 0.4,
+            switches: 0,
+            last_adapt: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Sets the online-learning rate (default 0.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha` is in `(0, 1]`.
+    pub fn with_learn_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        self.learn_alpha = alpha;
+        self
+    }
+
+    /// Adds an SLA constraint.
+    pub fn add_constraint(&mut self, constraint: Constraint) {
+        self.constraints.push(constraint);
+    }
+
+    /// Renegotiates the bound of the named constraint; returns `false` if
+    /// no such constraint exists.
+    pub fn set_constraint_bound(&mut self, metric: &str, bound: f64) -> bool {
+        match self.constraints.iter_mut().find(|c| c.metric() == metric) {
+            Some(c) => {
+                c.set_bound(bound);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The active constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The objective.
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+
+    /// The knowledge base (updated by online learning).
+    pub fn knowledge(&self) -> &KnowledgeBase {
+        &self.knowledge
+    }
+
+    /// The configuration currently deployed.
+    pub fn current(&self) -> Option<&Configuration> {
+        self.current.as_ref()
+    }
+
+    /// Number of configuration switches decided so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Selects the best feasible operating point and deploys it.
+    /// Returns `None` when no point satisfies the constraints (SLA
+    /// infeasible — the caller should escalate to the RTRM).
+    pub fn select(&mut self) -> Option<&Configuration> {
+        let best = self
+            .knowledge
+            .best(&self.objective, &self.constraints)?
+            .config
+            .clone();
+        if self.current.as_ref() != Some(&best) {
+            if self.current.is_some() {
+                self.switches += 1;
+            }
+            self.current = Some(best);
+        }
+        self.current.as_ref()
+    }
+
+    /// Records a runtime measurement of `metric` for the *current*
+    /// configuration.
+    pub fn observe(&mut self, time: f64, metric: &str, value: f64) {
+        self.monitors
+            .entry(metric.to_string())
+            .or_insert_with(|| TimeSeries::with_capacity(256))
+            .push(time, value);
+    }
+
+    /// The monitor series for a metric, if any measurements arrived.
+    pub fn monitor(&self, metric: &str) -> Option<&TimeSeries> {
+        self.monitors.get(metric)
+    }
+
+    /// One adaptation round at time `now`: folds measurements since the
+    /// previous round into the knowledge base (for the current
+    /// configuration), re-selects, and reports the decision.
+    pub fn adapt(&mut self, now: f64) -> Decision {
+        let since = self.last_adapt;
+        self.last_adapt = now;
+        if let Some(current) = self.current.clone() {
+            let mut learned = BTreeMap::new();
+            for (metric, series) in &self.monitors {
+                if let Some(mean) = series.mean_since(since) {
+                    learned.insert(metric.clone(), mean);
+                }
+            }
+            if !learned.is_empty() {
+                self.knowledge
+                    .learn(OperatingPoint::new(current, learned), self.learn_alpha);
+            }
+        }
+        let previous = self.current.clone();
+        self.select();
+        match (&previous, &self.current) {
+            (Some(prev), Some(next)) if prev != next => Decision::Switch(next.to_string()),
+            (None, Some(next)) => Decision::Switch(next.to_string()),
+            _ => Decision::Stay,
+        }
+    }
+}
+
+/// Adapts an [`AppManager`] plus a measurement probe into the monitor
+/// crate's [`CadaController`](antarex_monitor::cada::CadaController), so a
+/// [`CadaLoop`](antarex_monitor::cada::CadaLoop) can drive the
+/// application's adaptation on a fixed period — the runtime layer shape
+/// the paper describes in §II.
+pub struct ManagedApp<P> {
+    manager: AppManager,
+    probe: P,
+}
+
+impl<P> ManagedApp<P>
+where
+    P: FnMut(f64) -> Vec<(String, f64)>,
+{
+    /// Wraps a manager with a collect-stage probe: `probe(time)` returns
+    /// the fresh measurements (metric name, value) for the current
+    /// configuration.
+    pub fn new(manager: AppManager, probe: P) -> Self {
+        ManagedApp { manager, probe }
+    }
+
+    /// The wrapped manager.
+    pub fn manager(&self) -> &AppManager {
+        &self.manager
+    }
+
+    /// Mutable access to the wrapped manager.
+    pub fn manager_mut(&mut self) -> &mut AppManager {
+        &mut self.manager
+    }
+}
+
+impl<P> std::fmt::Debug for ManagedApp<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagedApp")
+            .field("manager", &self.manager)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P> antarex_monitor::cada::CadaController for ManagedApp<P>
+where
+    P: FnMut(f64) -> Vec<(String, f64)>,
+{
+    type Obs = (f64, Vec<(String, f64)>);
+    type Sum = f64;
+
+    fn collect(&mut self, time: f64) -> Self::Obs {
+        (time, (self.probe)(time))
+    }
+
+    fn analyse(&mut self, obs: Self::Obs) -> f64 {
+        let (time, samples) = obs;
+        for (metric, value) in samples {
+            self.manager.observe(time, &metric, value);
+        }
+        time
+    }
+
+    fn decide(&mut self, time: &f64) -> Decision {
+        self.manager.adapt(*time)
+    }
+
+    fn act(&mut self, _decision: &Decision) {
+        // `AppManager::adapt` already enacted the switch on `current()`;
+        // embedders reconfigure the application from the loop's decisions.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knob::KnobValue;
+
+    fn config(level: i64) -> Configuration {
+        let mut c = Configuration::new();
+        c.set("level", KnobValue::Int(level));
+        c
+    }
+
+    fn kb() -> KnowledgeBase {
+        // higher level: better quality, higher latency
+        (1..=4)
+            .map(|l| {
+                OperatingPoint::new(
+                    config(l),
+                    [
+                        ("latency".to_string(), 0.1 * l as f64),
+                        ("quality".to_string(), l as f64),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn select_honours_constraints_and_objective() {
+        let mut manager = AppManager::new(kb(), Objective::maximize("quality"));
+        manager.add_constraint(Constraint::at_most("latency", 0.25));
+        let chosen = manager.select().unwrap().clone();
+        assert_eq!(chosen.get_int("level"), Some(2), "level 3+ violate the SLA");
+        // loosening the SLA upgrades the configuration
+        manager.set_constraint_bound("latency", 1.0);
+        assert_eq!(manager.select().unwrap().get_int("level"), Some(4));
+        assert_eq!(manager.switches(), 1);
+    }
+
+    #[test]
+    fn infeasible_sla_returns_none() {
+        let mut manager = AppManager::new(kb(), Objective::maximize("quality"));
+        manager.add_constraint(Constraint::at_most("latency", 0.01));
+        assert!(manager.select().is_none());
+    }
+
+    #[test]
+    fn adapt_learns_from_monitors_and_downgrades() {
+        let mut manager =
+            AppManager::new(kb(), Objective::maximize("quality")).with_learn_alpha(1.0);
+        manager.add_constraint(Constraint::at_most("latency", 0.45));
+        assert_eq!(manager.select().unwrap().get_int("level"), Some(4));
+
+        // load spike: level 4 now measures 0.9 s latency, violating the SLA
+        for t in 0..5 {
+            manager.observe(t as f64, "latency", 0.9);
+        }
+        let decision = manager.adapt(5.0);
+        assert!(matches!(decision, Decision::Switch(_)), "must downgrade");
+        assert_eq!(manager.current().unwrap().get_int("level"), Some(3));
+        // the knowledge base reflects the measurement
+        let learned = manager
+            .knowledge()
+            .find(&config(4))
+            .unwrap()
+            .metric("latency")
+            .unwrap();
+        assert!((learned - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adapt_without_new_data_stays() {
+        let mut manager = AppManager::new(kb(), Objective::maximize("quality"));
+        manager.select();
+        assert_eq!(manager.adapt(1.0), Decision::Stay);
+        assert_eq!(manager.adapt(2.0), Decision::Stay);
+        assert_eq!(manager.switches(), 0);
+    }
+
+    #[test]
+    fn adapt_only_uses_measurements_since_last_round() {
+        let mut manager =
+            AppManager::new(kb(), Objective::maximize("quality")).with_learn_alpha(1.0);
+        manager.select();
+        manager.observe(0.0, "latency", 9.9);
+        manager.adapt(1.0);
+        // old sample must not be re-learned at the next round
+        let decision = manager.adapt(2.0);
+        assert_eq!(decision, Decision::Stay);
+    }
+
+    #[test]
+    fn cada_loop_drives_the_manager() {
+        use antarex_monitor::cada::CadaLoop;
+        let mut manager =
+            AppManager::new(kb(), Objective::maximize("quality")).with_learn_alpha(1.0);
+        manager.add_constraint(Constraint::at_most("latency", 0.45));
+        manager.select();
+        // probe: latency of the *current* level; levels above 3 now
+        // measure over-SLA (a load spike)
+        let managed = ManagedApp::new(manager, |_time: f64| vec![("latency".to_string(), 0.9)]);
+        let mut cada = CadaLoop::new(managed, 10.0);
+        let decisions = cada.advance_to(30.0);
+        assert!(decisions.iter().any(|d| matches!(d, Decision::Switch(_))));
+        // the manager walked down to a feasible level
+        let level = cada
+            .controller()
+            .manager()
+            .current()
+            .unwrap()
+            .get_int("level")
+            .unwrap();
+        assert!(level < 4, "downgraded from level 4, now {level}");
+    }
+
+    #[test]
+    fn first_select_counts_as_switch_decision_in_adapt() {
+        let mut manager = AppManager::new(kb(), Objective::maximize("quality"));
+        let decision = manager.adapt(0.0);
+        assert!(matches!(decision, Decision::Switch(_)));
+    }
+}

@@ -1,0 +1,279 @@
+//! Predictive models over the design space.
+//!
+//! "Machine learning techniques are also adopted by the decision-making
+//! engine to support autotuning by predicting the most promising set of
+//! parameter settings" (§IV). Two simple, dependency-free models:
+//!
+//! * [`LinearModel`] — least-squares linear regression on numeric knob
+//!   features (categorical knobs are one-hot encoded), solved by normal
+//!   equations with Gaussian elimination;
+//! * [`KnnModel`] — k-nearest-neighbours over knob index space, useful on
+//!   non-linear surfaces.
+
+use crate::space::{Configuration, DesignSpace};
+
+/// Encodes a configuration as a numeric feature vector: numeric knobs map
+/// to their value, categorical knobs one-hot expand. A leading 1 provides
+/// the intercept.
+pub fn features(space: &DesignSpace, config: &Configuration) -> Vec<f64> {
+    let mut x = vec![1.0];
+    for knob in space.knobs() {
+        match knob.domain() {
+            crate::knob::KnobDomain::Choices(choices) => {
+                let selected = config.get_choice(knob.name());
+                for choice in choices {
+                    x.push(if selected == Some(choice.as_str()) {
+                        1.0
+                    } else {
+                        0.0
+                    });
+                }
+            }
+            _ => x.push(config.get_float(knob.name()).unwrap_or(0.0)),
+        }
+    }
+    x
+}
+
+/// Least-squares linear regression over knob features.
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fits the model on `(configuration, cost)` observations.
+    ///
+    /// Returns `None` when the normal equations are singular (e.g. fewer
+    /// observations than features).
+    pub fn fit(space: &DesignSpace, observations: &[(Configuration, f64)]) -> Option<LinearModel> {
+        if observations.is_empty() {
+            return None;
+        }
+        let xs: Vec<Vec<f64>> = observations
+            .iter()
+            .map(|(c, _)| features(space, c))
+            .collect();
+        let n = xs[0].len();
+        // normal equations: (XᵀX) w = Xᵀy, with a tiny ridge for stability
+        let mut a = vec![vec![0.0f64; n]; n];
+        let mut b = vec![0.0f64; n];
+        for (x, (_, y)) in xs.iter().zip(observations) {
+            for i in 0..n {
+                for j in 0..n {
+                    a[i][j] += x[i] * x[j];
+                }
+                b[i] += x[i] * y;
+            }
+        }
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] += 1e-9;
+        }
+        let weights = solve(a, b)?;
+        Some(LinearModel { weights })
+    }
+
+    /// Predicts the cost of a configuration.
+    pub fn predict(&self, space: &DesignSpace, config: &Configuration) -> f64 {
+        features(space, config)
+            .iter()
+            .zip(&self.weights)
+            .map(|(x, w)| x * w)
+            .sum()
+    }
+
+    /// The fitted weights (intercept first).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Ranks candidate configurations by predicted cost, ascending.
+    pub fn rank<'a>(
+        &self,
+        space: &DesignSpace,
+        candidates: &'a [Configuration],
+    ) -> Vec<(&'a Configuration, f64)> {
+        let mut scored: Vec<(&Configuration, f64)> = candidates
+            .iter()
+            .map(|c| (c, self.predict(space, c)))
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+        scored
+    }
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for col in (row + 1)..n {
+            sum -= a[row][col] * x[col];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// k-nearest-neighbours regression over knob *index* space (each knob's
+/// position within its domain), which handles categorical knobs uniformly.
+#[derive(Debug, Clone)]
+pub struct KnnModel {
+    k: usize,
+    points: Vec<(Vec<f64>, f64)>,
+}
+
+impl KnnModel {
+    /// Fits (memorizes) the observations with neighbourhood size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn fit(space: &DesignSpace, observations: &[(Configuration, f64)], k: usize) -> KnnModel {
+        assert!(k > 0, "k must be positive");
+        let points = observations
+            .iter()
+            .map(|(c, y)| (index_coords(space, c), *y))
+            .collect();
+        KnnModel { k, points }
+    }
+
+    /// Predicts by inverse-distance-weighted average of the k nearest
+    /// observations (exact matches dominate).
+    pub fn predict(&self, space: &DesignSpace, config: &Configuration) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let q = index_coords(space, config);
+        let mut dists: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .map(|(p, y)| {
+                let d2: f64 = p.iter().zip(&q).map(|(a, b)| (a - b).powi(2)).sum();
+                (d2.sqrt(), *y)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let take = self.k.min(dists.len());
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (d, y) in dists.into_iter().take(take) {
+            let w = 1.0 / (d + 1e-9);
+            num += w * y;
+            den += w;
+        }
+        Some(num / den)
+    }
+}
+
+fn index_coords(space: &DesignSpace, config: &Configuration) -> Vec<f64> {
+    space
+        .knobs()
+        .iter()
+        .map(|k| {
+            config
+                .get(k.name())
+                .and_then(|v| k.index_of(v))
+                .map_or(0.0, |i| i as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knob::{Knob, KnobValue};
+
+    fn space() -> DesignSpace {
+        DesignSpace::new(vec![
+            Knob::int("x", 0, 10, 1),
+            Knob::choice("variant", ["a", "b"]),
+        ])
+    }
+
+    fn config(x: i64, variant: &str) -> Configuration {
+        let mut c = Configuration::new();
+        c.set("x", KnobValue::Int(x));
+        c.set("variant", KnobValue::Choice(variant.into()));
+        c
+    }
+
+    #[test]
+    fn linear_model_recovers_linear_surface() {
+        let space = space();
+        // y = 3 + 2x + 5*[variant=b]
+        let observations: Vec<(Configuration, f64)> = (0..=10)
+            .flat_map(|x| {
+                [
+                    (config(x, "a"), 3.0 + 2.0 * x as f64),
+                    (config(x, "b"), 8.0 + 2.0 * x as f64),
+                ]
+            })
+            .collect();
+        let model = LinearModel::fit(&space, &observations).unwrap();
+        let predicted = model.predict(&space, &config(7, "b"));
+        assert!((predicted - 22.0).abs() < 1e-6, "got {predicted}");
+        let predicted = model.predict(&space, &config(2, "a"));
+        assert!((predicted - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_model_ranks_candidates() {
+        let space = space();
+        let observations: Vec<(Configuration, f64)> =
+            (0..=10).map(|x| (config(x, "a"), x as f64)).collect();
+        let model = LinearModel::fit(&space, &observations).unwrap();
+        let candidates = vec![config(9, "a"), config(1, "a"), config(5, "a")];
+        let ranked = model.rank(&space, &candidates);
+        assert_eq!(ranked[0].0.get_int("x"), Some(1));
+        assert_eq!(ranked[2].0.get_int("x"), Some(9));
+    }
+
+    #[test]
+    fn fit_on_empty_is_none() {
+        assert!(LinearModel::fit(&space(), &[]).is_none());
+    }
+
+    #[test]
+    fn knn_interpolates_locally() {
+        let space = space();
+        let observations: Vec<(Configuration, f64)> = (0..=10)
+            .map(|x| (config(x, "a"), (x as f64 - 5.0).powi(2)))
+            .collect();
+        let model = KnnModel::fit(&space, &observations, 3);
+        // exact-match prediction dominates
+        let at5 = model.predict(&space, &config(5, "a")).unwrap();
+        assert!(at5 < 1.0, "got {at5}");
+        let at0 = model.predict(&space, &config(0, "a")).unwrap();
+        assert!(at0 > at5);
+    }
+
+    #[test]
+    fn knn_on_empty_is_none() {
+        let model = KnnModel::fit(&space(), &[], 3);
+        assert_eq!(model.predict(&space(), &config(0, "a")), None);
+    }
+
+    #[test]
+    fn solver_handles_singular() {
+        // duplicate feature rows -> singular without the ridge escape
+        let a = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        assert!(solve(a, vec![1.0, 1.0]).is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! Continuous online learning over operating points.
+//!
+//! "Continuous on-line learning techniques are adopted to update the
+//! knowledge from the data collected by the monitors, giving the
+//! possibility to autotune the system according to the most recent
+//! operating conditions" (§IV). [`OnlineLearner`] is an ε-greedy value
+//! learner with a constant step size, which keeps tracking *non-stationary*
+//! cost surfaces — exactly the changing-operating-conditions case.
+
+use crate::space::Configuration;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct ArmState {
+    config: Configuration,
+    estimate: f64,
+    pulls: u64,
+}
+
+/// ε-greedy online learner over a fixed set of configurations.
+#[derive(Debug, Clone)]
+pub struct OnlineLearner {
+    arms: Vec<ArmState>,
+    epsilon: f64,
+    alpha: f64,
+}
+
+impl OnlineLearner {
+    /// Creates a learner over `configs` with exploration rate `epsilon`
+    /// and learning step `alpha` (constant step size tracks drift).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty, or `epsilon`/`alpha` are outside
+    /// `[0, 1]` / `(0, 1]`.
+    pub fn new(configs: Vec<Configuration>, epsilon: f64, alpha: f64) -> Self {
+        assert!(!configs.is_empty(), "need at least one configuration");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        OnlineLearner {
+            arms: configs
+                .into_iter()
+                .map(|config| ArmState {
+                    config,
+                    estimate: f64::INFINITY, // optimistic for minimization? see choose()
+                    pulls: 0,
+                })
+                .collect(),
+            epsilon,
+            alpha,
+        }
+    }
+
+    /// Number of arms.
+    pub fn len(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Returns `true` if there are no arms (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
+    }
+
+    /// Chooses the next configuration to run: unexplored arms first, then
+    /// ε-greedy over estimated cost (smaller is better).
+    pub fn choose(&self, rng: &mut impl Rng) -> &Configuration {
+        if let Some(arm) = self.arms.iter().find(|a| a.pulls == 0) {
+            return &arm.config;
+        }
+        if rng.gen::<f64>() < self.epsilon {
+            let i = rng.gen_range(0..self.arms.len());
+            return &self.arms[i].config;
+        }
+        &self
+            .arms
+            .iter()
+            .min_by(|a, b| a.estimate.total_cmp(&b.estimate))
+            .expect("non-empty")
+            .config
+    }
+
+    /// Reports the observed cost of running `config`.
+    /// Unknown configurations are ignored.
+    pub fn update(&mut self, config: &Configuration, cost: f64) {
+        if let Some(arm) = self.arms.iter_mut().find(|a| &a.config == config) {
+            arm.pulls += 1;
+            if arm.estimate.is_infinite() {
+                arm.estimate = cost;
+            } else {
+                arm.estimate += self.alpha * (cost - arm.estimate);
+            }
+        }
+    }
+
+    /// The current cost estimate of a configuration.
+    pub fn estimate(&self, config: &Configuration) -> Option<f64> {
+        self.arms
+            .iter()
+            .find(|a| &a.config == config)
+            .map(|a| a.estimate)
+    }
+
+    /// The currently-best configuration by estimate.
+    pub fn best(&self) -> &Configuration {
+        &self
+            .arms
+            .iter()
+            .min_by(|a, b| a.estimate.total_cmp(&b.estimate))
+            .expect("non-empty")
+            .config
+    }
+
+    /// Forgets everything (e.g. after detecting a regime change).
+    pub fn reset(&mut self) {
+        for arm in &mut self.arms {
+            arm.estimate = f64::INFINITY;
+            arm.pulls = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knob::KnobValue;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn configs(n: i64) -> Vec<Configuration> {
+        (0..n)
+            .map(|i| {
+                let mut c = Configuration::new();
+                c.set("level", KnobValue::Int(i));
+                c
+            })
+            .collect()
+    }
+
+    /// Simulated cost: arm `i` costs `|i - target|` plus noise.
+    fn run_regime(learner: &mut OnlineLearner, target: i64, steps: usize, rng: &mut StdRng) {
+        for _ in 0..steps {
+            let config = learner.choose(rng).clone();
+            let level = config.get_int("level").unwrap();
+            let cost = (level - target).abs() as f64 + rng.gen::<f64>() * 0.1;
+            learner.update(&config, cost);
+        }
+    }
+
+    #[test]
+    fn learns_the_best_arm() {
+        let mut learner = OnlineLearner::new(configs(8), 0.1, 0.3);
+        let mut rng = StdRng::seed_from_u64(42);
+        run_regime(&mut learner, 5, 400, &mut rng);
+        assert_eq!(learner.best().get_int("level"), Some(5));
+    }
+
+    #[test]
+    fn tracks_regime_change() {
+        let mut learner = OnlineLearner::new(configs(8), 0.15, 0.4);
+        let mut rng = StdRng::seed_from_u64(7);
+        run_regime(&mut learner, 2, 300, &mut rng);
+        assert_eq!(learner.best().get_int("level"), Some(2));
+        // operating conditions change: optimum moves to 6
+        run_regime(&mut learner, 6, 600, &mut rng);
+        assert_eq!(
+            learner.best().get_int("level"),
+            Some(6),
+            "constant step size must track drift"
+        );
+    }
+
+    #[test]
+    fn explores_every_arm_first() {
+        let mut learner = OnlineLearner::new(configs(5), 0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..5 {
+            let c = learner.choose(&mut rng).clone();
+            seen.insert(c.get_int("level").unwrap());
+            learner.update(&c, 1.0);
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut learner = OnlineLearner::new(configs(3), 0.0, 0.5);
+        let c = configs(3)[0].clone();
+        learner.update(&c, 5.0);
+        assert_eq!(learner.estimate(&c), Some(5.0));
+        learner.reset();
+        assert_eq!(learner.estimate(&c), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn unknown_update_ignored() {
+        let mut learner = OnlineLearner::new(configs(2), 0.0, 0.5);
+        let mut ghost = Configuration::new();
+        ghost.set("level", KnobValue::Int(99));
+        learner.update(&ghost, 1.0);
+        assert_eq!(learner.estimate(&ghost), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_arms_rejected() {
+        let _ = OnlineLearner::new(vec![], 0.1, 0.5);
+    }
+}
+
+#[cfg(test)]
+mod drift_integration {
+    use super::*;
+    use crate::knob::KnobValue;
+    use antarex_monitor::drift::PageHinkley;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Online learning + drift detection: when the cost regime shifts, the
+    /// Page–Hinkley detector fires and resetting the learner re-explores,
+    /// adapting faster than a learner that never resets — "autotune the
+    /// system according to the most recent operating conditions" (§IV).
+    #[test]
+    fn drift_reset_recovers_faster_after_regime_change() {
+        let configs: Vec<Configuration> = (0..6)
+            .map(|i| {
+                let mut c = Configuration::new();
+                c.set("level", KnobValue::Int(i));
+                c
+            })
+            .collect();
+        let cost = |level: i64, target: i64, rng: &mut StdRng| {
+            (level - target).abs() as f64 + rng.gen::<f64>() * 0.05
+        };
+
+        let run = |reset_on_drift: bool| -> i64 {
+            let mut rng = StdRng::seed_from_u64(50);
+            // slow learner: tracks drift poorly on its own
+            let mut learner = OnlineLearner::new(configs.clone(), 0.1, 0.02);
+            let mut detector = PageHinkley::new(0.1, 3.0);
+            let mut reset_done = false;
+            for _ in 0..400 {
+                let c = learner.choose(&mut rng).clone();
+                let v = cost(c.get_int("level").unwrap(), 1, &mut rng);
+                learner.update(&c, v);
+                detector.observe(v);
+            }
+            // regime change: optimum jumps from level 1 to level 5
+            for _ in 0..800 {
+                let c = learner.choose(&mut rng).clone();
+                let v = cost(c.get_int("level").unwrap(), 5, &mut rng);
+                if detector.observe(v) && reset_on_drift && !reset_done {
+                    // forget the stale regime entirely, then learn afresh
+                    learner.reset();
+                    reset_done = true;
+                    continue;
+                }
+                learner.update(&c, v);
+            }
+            learner.best().get_int("level").unwrap()
+        };
+
+        assert_eq!(run(true), 5, "reset learner converges to the new optimum");
+        // without resetting, the stale estimates keep the old optimum
+        // pinned (the slow alpha cannot unlearn in time)
+        assert_ne!(run(false), 5, "stale learner lags the regime change");
+    }
+}

@@ -1,0 +1,290 @@
+//! Operating points and the design-time knowledge base.
+//!
+//! An operating point pairs a configuration with the metrics measured for
+//! it (time, energy, quality, ...). The knowledge base is what design-time
+//! exploration hands to the runtime manager — mARGOt's list of operating
+//! points, filtered by constraints and ranked by the objective at runtime.
+
+use crate::goal::{Constraint, Objective};
+use crate::space::Configuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A configuration plus its measured metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// The knob settings.
+    pub config: Configuration,
+    /// Measured metrics by name (e.g. `"time"`, `"energy"`, `"error"`).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point.
+    pub fn new(config: Configuration, metrics: impl IntoIterator<Item = (String, f64)>) -> Self {
+        OperatingPoint {
+            config,
+            metrics: metrics.into_iter().collect(),
+        }
+    }
+
+    /// A metric value.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).copied()
+    }
+
+    /// Returns `true` if every constraint is met (missing metrics fail).
+    pub fn satisfies(&self, constraints: &[Constraint]) -> bool {
+        constraints
+            .iter()
+            .all(|c| self.metric(c.metric()).is_some_and(|v| c.satisfied_by(v)))
+    }
+}
+
+/// The list of known operating points.
+///
+/// # Examples
+///
+/// ```
+/// use antarex_tuner::{Configuration, KnowledgeBase, OperatingPoint};
+/// use antarex_tuner::goal::{Constraint, Objective};
+///
+/// let mut kb = KnowledgeBase::new();
+/// let mut slow = Configuration::new();
+/// slow.set("unroll", antarex_tuner::KnobValue::Int(1));
+/// kb.push(OperatingPoint::new(
+///     slow,
+///     [("time".to_string(), 2.0), ("energy".to_string(), 1.0)],
+/// ));
+/// let best = kb.best(&Objective::minimize("time"), &[]).unwrap();
+/// assert_eq!(best.metric("time"), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    points: Vec<OperatingPoint>,
+}
+
+impl KnowledgeBase {
+    /// Creates an empty knowledge base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a point.
+    pub fn push(&mut self, point: OperatingPoint) {
+        self.points.push(point);
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the base is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points satisfying every constraint.
+    pub fn feasible<'a>(
+        &'a self,
+        constraints: &'a [Constraint],
+    ) -> impl Iterator<Item = &'a OperatingPoint> {
+        self.points.iter().filter(move |p| p.satisfies(constraints))
+    }
+
+    /// The best feasible point under the objective: mARGOt's runtime
+    /// selection. Ties resolve to the earliest point.
+    pub fn best(
+        &self,
+        objective: &Objective,
+        constraints: &[Constraint],
+    ) -> Option<&OperatingPoint> {
+        let mut best: Option<(&OperatingPoint, f64)> = None;
+        for point in self.points.iter().filter(|p| p.satisfies(constraints)) {
+            let Some(value) = point.metric(objective.metric()) else {
+                continue;
+            };
+            let score = objective.score(value);
+            match &best {
+                Some((_, best_score)) if *best_score >= score => {}
+                _ => best = Some((point, score)),
+            }
+        }
+        best.map(|(p, _)| p)
+    }
+
+    /// Looks up the point for a configuration, if measured before.
+    pub fn find(&self, config: &Configuration) -> Option<&OperatingPoint> {
+        self.points.iter().find(|p| &p.config == config)
+    }
+
+    /// Replaces the metrics of an existing configuration or appends a new
+    /// point (online-learning update).
+    pub fn upsert(&mut self, point: OperatingPoint) {
+        match self.points.iter_mut().find(|p| p.config == point.config) {
+            Some(existing) => existing.metrics = point.metrics,
+            None => self.points.push(point),
+        }
+    }
+
+    /// Blends new metrics into an existing point with learning rate
+    /// `alpha` (`new = old + alpha * (measured - old)`); appends when the
+    /// configuration is unknown. This is the paper's "continuous on-line
+    /// learning ... to update the knowledge from the data collected by the
+    /// monitors".
+    pub fn learn(&mut self, point: OperatingPoint, alpha: f64) {
+        match self.points.iter_mut().find(|p| p.config == point.config) {
+            Some(existing) => {
+                for (name, value) in point.metrics {
+                    existing
+                        .metrics
+                        .entry(name)
+                        .and_modify(|old| *old += alpha * (value - *old))
+                        .or_insert(value);
+                }
+            }
+            None => self.points.push(point),
+        }
+    }
+
+    /// The Pareto-optimal subset with respect to the given metrics (all
+    /// minimized). A point is dominated if another is no worse on every
+    /// metric and strictly better on one.
+    pub fn pareto(&self, metrics: &[&str]) -> Vec<&OperatingPoint> {
+        self.points
+            .iter()
+            .filter(|p| {
+                !self.points.iter().any(|q| {
+                    if std::ptr::eq(*p, q) {
+                        return false;
+                    }
+                    let mut strictly_better = false;
+                    for m in metrics {
+                        let (Some(pv), Some(qv)) = (p.metric(m), q.metric(m)) else {
+                            return false;
+                        };
+                        if qv > pv {
+                            return false;
+                        }
+                        if qv < pv {
+                            strictly_better = true;
+                        }
+                    }
+                    strictly_better
+                })
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<OperatingPoint> for KnowledgeBase {
+    fn from_iter<I: IntoIterator<Item = OperatingPoint>>(iter: I) -> Self {
+        KnowledgeBase {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<OperatingPoint> for KnowledgeBase {
+    fn extend<I: IntoIterator<Item = OperatingPoint>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knob::KnobValue;
+
+    fn point(unroll: i64, time: f64, energy: f64) -> OperatingPoint {
+        let mut config = Configuration::new();
+        config.set("unroll", KnobValue::Int(unroll));
+        OperatingPoint::new(
+            config,
+            [("time".to_string(), time), ("energy".to_string(), energy)],
+        )
+    }
+
+    fn kb() -> KnowledgeBase {
+        [
+            point(1, 4.0, 1.0),
+            point(2, 2.0, 2.0),
+            point(4, 1.0, 4.0),
+            point(8, 0.9, 8.0),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn best_under_objective() {
+        let kb = kb();
+        let best = kb.best(&Objective::minimize("time"), &[]).unwrap();
+        assert_eq!(best.config.get_int("unroll"), Some(8));
+        let best = kb.best(&Objective::minimize("energy"), &[]).unwrap();
+        assert_eq!(best.config.get_int("unroll"), Some(1));
+        let best = kb.best(&Objective::maximize("time"), &[]).unwrap();
+        assert_eq!(best.config.get_int("unroll"), Some(1));
+    }
+
+    #[test]
+    fn constraints_filter_candidates() {
+        let kb = kb();
+        let constraints = [Constraint::at_most("energy", 4.0)];
+        let best = kb.best(&Objective::minimize("time"), &constraints).unwrap();
+        assert_eq!(
+            best.config.get_int("unroll"),
+            Some(4),
+            "unroll=8 violates energy cap"
+        );
+        let impossible = [Constraint::at_most("energy", 0.5)];
+        assert!(kb.best(&Objective::minimize("time"), &impossible).is_none());
+    }
+
+    #[test]
+    fn missing_metric_fails_constraints() {
+        let mut config = Configuration::new();
+        config.set("unroll", KnobValue::Int(16));
+        let p = OperatingPoint::new(config, [("time".to_string(), 0.1)]);
+        assert!(!p.satisfies(&[Constraint::at_most("energy", 100.0)]));
+    }
+
+    #[test]
+    fn upsert_replaces_in_place() {
+        let mut kb = kb();
+        kb.upsert(point(2, 99.0, 99.0));
+        assert_eq!(kb.len(), 4);
+        assert_eq!(
+            kb.find(&point(2, 0.0, 0.0).config).unwrap().metric("time"),
+            Some(99.0)
+        );
+    }
+
+    #[test]
+    fn learn_blends_with_alpha() {
+        let mut kb = kb();
+        kb.learn(point(2, 4.0, 4.0), 0.5);
+        let p = kb.find(&point(2, 0.0, 0.0).config).unwrap();
+        assert_eq!(p.metric("time"), Some(3.0), "2.0 + 0.5 * (4.0 - 2.0)");
+        // unknown config appends
+        kb.learn(point(32, 1.0, 1.0), 0.5);
+        assert_eq!(kb.len(), 5);
+    }
+
+    #[test]
+    fn pareto_front() {
+        let kb = kb();
+        let front = kb.pareto(&["time", "energy"]);
+        // all four are non-dominated (time strictly decreasing, energy increasing)
+        assert_eq!(front.len(), 4);
+        let mut kb2 = kb.clone();
+        kb2.push(point(16, 2.5, 3.0)); // dominated by unroll=2 (2.0, 2.0)
+        assert_eq!(kb2.pareto(&["time", "energy"]).len(), 4);
+    }
+}

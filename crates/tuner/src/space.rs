@@ -1,0 +1,400 @@
+//! The design space: cartesian product of knob domains.
+
+use crate::knob::{Knob, KnobValue};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One configuration: an assignment of a value to every knob.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Configuration {
+    values: BTreeMap<String, KnobValue>,
+}
+
+impl Configuration {
+    /// Creates an empty configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a knob value.
+    pub fn set(&mut self, knob: impl Into<String>, value: KnobValue) {
+        self.values.insert(knob.into(), value);
+    }
+
+    /// Gets a knob value.
+    pub fn get(&self, knob: &str) -> Option<&KnobValue> {
+        self.values.get(knob)
+    }
+
+    /// Integer value of a knob.
+    pub fn get_int(&self, knob: &str) -> Option<i64> {
+        self.values.get(knob)?.as_int()
+    }
+
+    /// Float value of a knob (ints promote).
+    pub fn get_float(&self, knob: &str) -> Option<f64> {
+        self.values.get(knob)?.as_float()
+    }
+
+    /// Choice value of a knob.
+    pub fn get_choice(&self, knob: &str) -> Option<&str> {
+        self.values.get(knob)?.as_choice()
+    }
+
+    /// Iterates over `(knob, value)` pairs in knob-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &KnobValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of assigned knobs.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no knobs are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, KnobValue)> for Configuration {
+    fn from_iter<I: IntoIterator<Item = (String, KnobValue)>>(iter: I) -> Self {
+        Configuration {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The cartesian design space over a set of knobs.
+///
+/// # Examples
+///
+/// ```
+/// use antarex_tuner::{knob::Knob, space::DesignSpace};
+///
+/// let space = DesignSpace::new(vec![
+///     Knob::int("unroll", 1, 4, 1),
+///     Knob::choice("variant", ["a", "b"]),
+/// ]);
+/// assert_eq!(space.size(), 8);
+/// assert_eq!(space.iter().count(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    knobs: Vec<Knob>,
+}
+
+impl DesignSpace {
+    /// Creates a space over `knobs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two knobs share a name.
+    pub fn new(knobs: Vec<Knob>) -> Self {
+        for (i, a) in knobs.iter().enumerate() {
+            for b in &knobs[i + 1..] {
+                assert!(a.name() != b.name(), "duplicate knob `{}`", a.name());
+            }
+        }
+        DesignSpace { knobs }
+    }
+
+    /// The knobs, in declaration order.
+    pub fn knobs(&self) -> &[Knob] {
+        &self.knobs
+    }
+
+    /// Looks up a knob by name.
+    pub fn knob(&self, name: &str) -> Option<&Knob> {
+        self.knobs.iter().find(|k| k.name() == name)
+    }
+
+    /// Total number of configurations.
+    pub fn size(&self) -> u128 {
+        self.knobs.iter().map(|k| k.cardinality() as u128).product()
+    }
+
+    /// Iterates over every configuration (row-major over knob order).
+    pub fn iter(&self) -> SpaceIter<'_> {
+        SpaceIter {
+            space: self,
+            indexes: vec![0; self.knobs.len()],
+            done: self.knobs.iter().any(|k| k.cardinality() == 0),
+        }
+    }
+
+    /// Uniformly samples one configuration.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Configuration {
+        self.knobs
+            .iter()
+            .map(|k| {
+                let index = rng.gen_range(0..k.cardinality());
+                (k.name().to_string(), k.value_at(index))
+            })
+            .collect()
+    }
+
+    /// All single-knob neighbours of a configuration (one knob moved one
+    /// step up or down its domain; choices move to adjacent entries).
+    pub fn neighbors(&self, config: &Configuration) -> Vec<Configuration> {
+        let mut out = Vec::new();
+        for knob in &self.knobs {
+            let Some(value) = config.get(knob.name()) else {
+                continue;
+            };
+            let Some(index) = knob.index_of(value) else {
+                continue;
+            };
+            for delta in [-1i64, 1] {
+                let j = index as i64 + delta;
+                if j >= 0 && (j as usize) < knob.cardinality() {
+                    let mut next = config.clone();
+                    next.set(knob.name(), knob.value_at(j as usize));
+                    out.push(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the configuration assigns an admissible value to
+    /// every knob (and nothing else).
+    pub fn contains(&self, config: &Configuration) -> bool {
+        config.len() == self.knobs.len()
+            && self.knobs.iter().all(|k| {
+                config
+                    .get(k.name())
+                    .is_some_and(|v| k.index_of(v).is_some())
+            })
+    }
+
+    /// Grey-box annotation: returns a space with one knob's domain shrunk
+    /// by the predicate. Knobs not named are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the knob does not exist or nothing survives the filter.
+    pub fn restrict(&self, knob: &str, keep: impl Fn(&KnobValue) -> bool) -> DesignSpace {
+        let knobs = self
+            .knobs
+            .iter()
+            .map(|k| {
+                if k.name() == knob {
+                    k.restrict(&keep)
+                        .unwrap_or_else(|| panic!("restriction on `{knob}` left no values"))
+                } else {
+                    k.clone()
+                }
+            })
+            .collect();
+        let found = self.knobs.iter().any(|k| k.name() == knob);
+        assert!(found, "no knob named `{knob}`");
+        DesignSpace { knobs }
+    }
+
+    /// The `index`-th configuration in row-major order (mixed-radix
+    /// decode). Lets exhaustive search enumerate without borrowing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= size()`.
+    pub fn config_at(&self, mut index: u128) -> Configuration {
+        assert!(index < self.size(), "configuration index out of range");
+        let mut values = Vec::with_capacity(self.knobs.len());
+        for knob in self.knobs.iter().rev() {
+            let card = knob.cardinality() as u128;
+            let digit = (index % card) as usize;
+            index /= card;
+            values.push((knob.name().to_string(), knob.value_at(digit)));
+        }
+        values.into_iter().collect()
+    }
+
+    /// The configuration at the centre of every domain (a reasonable
+    /// starting point for local search).
+    pub fn center(&self) -> Configuration {
+        self.knobs
+            .iter()
+            .map(|k| (k.name().to_string(), k.value_at(k.cardinality() / 2)))
+            .collect()
+    }
+}
+
+/// Iterator over all configurations of a [`DesignSpace`].
+#[derive(Debug)]
+pub struct SpaceIter<'a> {
+    space: &'a DesignSpace,
+    indexes: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for SpaceIter<'_> {
+    type Item = Configuration;
+
+    fn next(&mut self) -> Option<Configuration> {
+        if self.done {
+            return None;
+        }
+        let config: Configuration = self
+            .space
+            .knobs
+            .iter()
+            .zip(&self.indexes)
+            .map(|(k, &i)| (k.name().to_string(), k.value_at(i)))
+            .collect();
+        // odometer increment
+        let mut carry = true;
+        for (i, knob) in self.space.knobs.iter().enumerate().rev() {
+            if carry {
+                self.indexes[i] += 1;
+                if self.indexes[i] >= knob.cardinality() {
+                    self.indexes[i] = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            self.done = true;
+        }
+        // empty knob list: single empty configuration
+        if self.space.knobs.is_empty() {
+            self.done = true;
+        }
+        Some(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> DesignSpace {
+        DesignSpace::new(vec![
+            Knob::int("unroll", 1, 4, 1),
+            Knob::choice("variant", ["a", "b"]),
+        ])
+    }
+
+    #[test]
+    fn size_and_iteration() {
+        let s = space();
+        assert_eq!(s.size(), 8);
+        let all: Vec<Configuration> = s.iter().collect();
+        assert_eq!(all.len(), 8);
+        // all distinct
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(all.iter().all(|c| s.contains(c)));
+    }
+
+    #[test]
+    fn empty_space_yields_one_empty_config() {
+        let s = DesignSpace::new(vec![]);
+        assert_eq!(s.size(), 1);
+        let all: Vec<_> = s.iter().collect();
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_empty());
+    }
+
+    #[test]
+    fn sampling_is_admissible() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert!(s.contains(&s.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn neighbors_move_one_step() {
+        let s = space();
+        let mut config = Configuration::new();
+        config.set("unroll", KnobValue::Int(2));
+        config.set("variant", KnobValue::Choice("a".into()));
+        let neighbors = s.neighbors(&config);
+        // unroll: 1 or 3; variant: b
+        assert_eq!(neighbors.len(), 3);
+        assert!(neighbors.iter().all(|n| s.contains(n)));
+        // boundary: unroll=1 has only one integer neighbour
+        config.set("unroll", KnobValue::Int(1));
+        assert_eq!(s.neighbors(&config).len(), 2);
+    }
+
+    #[test]
+    fn contains_rejects_bad_configs() {
+        let s = space();
+        let mut config = Configuration::new();
+        config.set("unroll", KnobValue::Int(99));
+        config.set("variant", KnobValue::Choice("a".into()));
+        assert!(!s.contains(&config));
+        let partial: Configuration = [("unroll".to_string(), KnobValue::Int(2))]
+            .into_iter()
+            .collect();
+        assert!(!s.contains(&partial));
+    }
+
+    #[test]
+    fn restrict_shrinks_one_knob() {
+        let s = DesignSpace::new(vec![Knob::int("unroll", 1, 16, 1)]);
+        let shrunk = s.restrict("unroll", |v| {
+            v.as_int().is_some_and(|i| i > 0 && (i & (i - 1)) == 0)
+        });
+        assert_eq!(shrunk.size(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate knob")]
+    fn duplicate_names_panic() {
+        let _ = DesignSpace::new(vec![Knob::int("x", 0, 1, 1), Knob::int("x", 0, 1, 1)]);
+    }
+
+    #[test]
+    fn center_is_admissible() {
+        let s = space();
+        assert!(s.contains(&s.center()));
+    }
+
+    #[test]
+    fn configuration_display() {
+        let mut c = Configuration::new();
+        c.set("b", KnobValue::Int(1));
+        c.set("a", KnobValue::Choice("x".into()));
+        assert_eq!(c.to_string(), "{a=x, b=1}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = space();
+        let json = serde_json_like(&s);
+        assert!(json.contains("unroll"));
+    }
+
+    // serde_json is not among the allowed crates; smoke-test Serialize via
+    // the debug of the serde data model using a tiny manual serializer is
+    // overkill — instead assert the derives exist by using bincode-like
+    // trait bounds.
+    fn serde_json_like<T: serde::Serialize + std::fmt::Debug>(value: &T) -> String {
+        format!("{value:?}")
+    }
+}

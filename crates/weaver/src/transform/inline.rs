@@ -1,0 +1,299 @@
+//! Function inlining (`do Inline('callee')`).
+//!
+//! Inlines calls to *expression functions* — functions whose body is a
+//! single `return <expr>` over their scalar parameters. That covers the
+//! small helpers instrumentation and specialization tend to leave behind,
+//! and removes the call overhead the cost model charges per invocation.
+//!
+//! Safety rule: a call is only inlined when no argument contains a nested
+//! call — every other expression form is side-effect-free in this IR, so
+//! duplicating it into multiple parameter uses is semantics-preserving
+//! (at worst it re-evaluates a pure read).
+
+use antarex_ir::{Block, Expr, Function, LValue, Program, Stmt};
+use std::fmt;
+
+/// Why a function cannot be inlined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InlineError {
+    /// No such function.
+    UnknownFunction(String),
+    /// The body is not a single `return <expr>`.
+    NotAnExpressionFunction(String),
+    /// The function takes array parameters (aliasing is not tracked).
+    ArrayParams(String),
+}
+
+impl fmt::Display for InlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InlineError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            InlineError::NotAnExpressionFunction(name) => {
+                write!(f, "`{name}` is not a single-return expression function")
+            }
+            InlineError::ArrayParams(name) => {
+                write!(f, "`{name}` takes array parameters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InlineError {}
+
+/// Checks that `function` is inlinable and returns its return expression.
+fn inlinable_body(function: &Function) -> Option<&Expr> {
+    if function.params.iter().any(|p| p.is_array) {
+        return None;
+    }
+    match function.body.as_slice() {
+        [Stmt::Return(Some(expr))] => Some(expr),
+        _ => None,
+    }
+}
+
+/// Returns `true` if the argument expression is safe to duplicate:
+/// everything except calls is side-effect-free in this IR, so only
+/// arguments containing a call are rejected.
+fn duplicable(arg: &Expr) -> bool {
+    let mut has_call = false;
+    arg.walk(&mut |e| has_call |= matches!(e, Expr::Call(_, _)));
+    !has_call
+}
+
+fn inline_expr(
+    expr: &Expr,
+    callee: &str,
+    ret: &Expr,
+    params: &[String],
+    count: &mut usize,
+) -> Expr {
+    match expr {
+        Expr::Call(name, args) => {
+            let args: Vec<Expr> = args
+                .iter()
+                .map(|a| inline_expr(a, callee, ret, params, count))
+                .collect();
+            if name == callee && args.len() == params.len() && args.iter().all(duplicable) {
+                let mut body = ret.clone();
+                for (param, arg) in params.iter().zip(&args) {
+                    body = body.substitute(param, arg);
+                }
+                *count += 1;
+                body
+            } else {
+                Expr::Call(name.clone(), args)
+            }
+        }
+        Expr::Unary(op, inner) => Expr::Unary(
+            *op,
+            Box::new(inline_expr(inner, callee, ret, params, count)),
+        ),
+        Expr::Binary(op, lhs, rhs) => Expr::binary(
+            *op,
+            inline_expr(lhs, callee, ret, params, count),
+            inline_expr(rhs, callee, ret, params, count),
+        ),
+        Expr::Index(name, idx) => Expr::Index(
+            name.clone(),
+            Box::new(inline_expr(idx, callee, ret, params, count)),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn inline_block(block: &mut Block, callee: &str, ret: &Expr, params: &[String], count: &mut usize) {
+    for stmt in block.iter_mut() {
+        match stmt {
+            Stmt::Decl { init: Some(e), .. } => *e = inline_expr(e, callee, ret, params, count),
+            Stmt::Decl { .. } | Stmt::ArrayDecl { .. } => {}
+            Stmt::Assign { target, value } => {
+                if let LValue::Index(_, idx) = target {
+                    **idx = inline_expr(idx, callee, ret, params, count);
+                }
+                *value = inline_expr(value, callee, ret, params, count);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                *cond = inline_expr(cond, callee, ret, params, count);
+                inline_block(then_branch, callee, ret, params, count);
+                if let Some(else_branch) = else_branch {
+                    inline_block(else_branch, callee, ret, params, count);
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                *init = inline_expr(init, callee, ret, params, count);
+                *cond = inline_expr(cond, callee, ret, params, count);
+                *step = inline_expr(step, callee, ret, params, count);
+                inline_block(body, callee, ret, params, count);
+            }
+            Stmt::While { cond, body } => {
+                *cond = inline_expr(cond, callee, ret, params, count);
+                inline_block(body, callee, ret, params, count);
+            }
+            Stmt::Return(Some(e)) => *e = inline_expr(e, callee, ret, params, count),
+            Stmt::Return(None) => {}
+            Stmt::ExprStmt(e) => *e = inline_expr(e, callee, ret, params, count),
+        }
+    }
+}
+
+/// Inlines every eligible call to `callee` inside `body`, returning how
+/// many call sites were expanded. Calls whose arguments contain nested
+/// calls are left intact.
+///
+/// # Errors
+///
+/// See [`InlineError`] — the *callee* must be an inlinable expression
+/// function; ineligible *call sites* are skipped silently.
+pub fn inline_calls(
+    body: &mut Block,
+    program: &Program,
+    callee: &str,
+) -> Result<usize, InlineError> {
+    let function = program
+        .function(callee)
+        .ok_or_else(|| InlineError::UnknownFunction(callee.to_string()))?;
+    if function.params.iter().any(|p| p.is_array) {
+        return Err(InlineError::ArrayParams(callee.to_string()));
+    }
+    let ret = inlinable_body(function)
+        .ok_or_else(|| InlineError::NotAnExpressionFunction(callee.to_string()))?
+        .clone();
+    let params: Vec<String> = function.params.iter().map(|p| p.name.clone()).collect();
+    let mut count = 0;
+    inline_block(body, callee, &ret, &params, &mut count);
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antarex_ir::interp::{ExecEnv, Interp};
+    use antarex_ir::parse_program;
+    use antarex_ir::value::Value;
+
+    const SRC: &str = "double sq(double x) { return x * x; }
+    double mix(double a, double b) { return a * 2.0 + b; }
+    double f(double u, double v) {
+        double acc = sq(u) + sq(v);
+        for (int i = 0; i < 4; i++) { acc += mix(u, acc); }
+        if (sq(u) > 1.0) { acc += 1.0; }
+        return acc;
+    }";
+
+    fn run(program: &Program) -> Value {
+        Interp::new(program.clone())
+            .call(
+                "f",
+                &[Value::Float(1.5), Value::Float(0.25)],
+                &mut ExecEnv::new(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn inlining_preserves_semantics_and_cuts_calls() {
+        let program = parse_program(SRC).unwrap();
+        let reference = run(&program);
+        let mut inlined = program.clone();
+        let mut total = 0;
+        inlined
+            .edit_function("f", |f| {
+                total += inline_calls(&mut f.body, &program, "sq").unwrap();
+                total += inline_calls(&mut f.body, &program, "mix").unwrap();
+            })
+            .unwrap();
+        assert!(total >= 3, "inlined {total} call sites");
+        assert_eq!(run(&inlined), reference);
+
+        let mut env_base = ExecEnv::new();
+        Interp::new(program.clone())
+            .call("f", &[Value::Float(1.5), Value::Float(0.25)], &mut env_base)
+            .unwrap();
+        let mut env_inl = ExecEnv::new();
+        Interp::new(inlined)
+            .call("f", &[Value::Float(1.5), Value::Float(0.25)], &mut env_inl)
+            .unwrap();
+        assert!(env_inl.stats.calls < env_base.stats.calls);
+        assert!(env_inl.stats.cost < env_base.stats.cost);
+    }
+
+    #[test]
+    fn non_duplicable_arguments_are_skipped() {
+        // sq(g()) must not be inlined (duplicating g() would double its
+        // side effects if x were used twice)
+        let program = parse_program(
+            "double sq(double x) { return x * x; }
+             double g() { return 2.0; }
+             double f() { return sq(g()); }",
+        )
+        .unwrap();
+        let mut edited = program.clone();
+        let mut count = 0;
+        edited
+            .edit_function("f", |f| {
+                count = inline_calls(&mut f.body, &program, "sq").unwrap();
+            })
+            .unwrap();
+        assert_eq!(count, 0);
+        assert_eq!(run_simple(&edited), Value::Float(4.0));
+    }
+
+    fn run_simple(program: &Program) -> Value {
+        Interp::new(program.clone())
+            .call("f", &[], &mut ExecEnv::new())
+            .unwrap()
+    }
+
+    #[test]
+    fn ineligible_callees_error() {
+        let program = parse_program(
+            "double multi(double x) { double y = x; return y; }
+             double arr(double a[]) { return a[0]; }
+             double f() { return 1.0; }",
+        )
+        .unwrap();
+        let mut body = program.function("f").unwrap().body.clone();
+        assert!(matches!(
+            inline_calls(&mut body, &program, "multi"),
+            Err(InlineError::NotAnExpressionFunction(_))
+        ));
+        assert!(matches!(
+            inline_calls(&mut body, &program, "arr"),
+            Err(InlineError::ArrayParams(_))
+        ));
+        assert!(matches!(
+            inline_calls(&mut body, &program, "ghost"),
+            Err(InlineError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn nested_calls_to_same_callee_inline_bottom_up() {
+        let program = parse_program(
+            "int inc(int x) { return x + 1; }
+             int f() { return inc(inc(inc(0))); }",
+        )
+        .unwrap();
+        let mut edited = program.clone();
+        let mut count = 0;
+        edited
+            .edit_function("f", |f| {
+                count = inline_calls(&mut f.body, &program, "inc").unwrap();
+            })
+            .unwrap();
+        // innermost inc(0) inlines to (0+1); the next level's argument is
+        // then a binary expression (not duplicable) — one site per pass
+        assert!(count >= 1);
+        assert_eq!(run_simple(&edited), Value::Int(3));
+    }
+}

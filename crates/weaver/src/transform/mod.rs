@@ -1,0 +1,9 @@
+//! Code transformations triggered by weaver actions.
+
+pub mod dce;
+pub mod fold;
+pub mod inline;
+pub mod specialize;
+pub mod subst;
+pub mod tile;
+pub mod unroll;

@@ -1,0 +1,251 @@
+//! Loop tiling (`do LoopTile(size)`).
+//!
+//! Tiling splits a counted loop into an outer tile loop and an inner
+//! intra-tile loop. On real hardware it buys locality; under our cost
+//! model its effect is neutral-to-slightly-negative on its own, but it is
+//! the *enabling* transformation for the paper's composition story: an
+//! inner tile loop has a constant trip count, so `LoopUnroll('full')`
+//! applies where it could not before (dynamic bounds). This mirrors the
+//! LARA hardware-synthesis work the paper cites (refs. 12 and 13), where
+//! transformation *sequences* are the knob.
+
+use super::subst::substitute_block;
+use super::unroll::UnrollError;
+use antarex_ir::{analysis, BinOp, Block, Expr, NodePath, Stmt};
+
+/// Tiles the `for` loop addressed by `path` with the given tile size.
+///
+/// The loop must have a statically-known trip count (like full unrolling)
+/// and the tile size must divide... no: a remainder loop is emitted when
+/// the trip count is not a multiple of the tile size.
+///
+/// The rewrite of `for (i = start; i < bound; i = i + stride) body` is:
+///
+/// ```text
+/// for (i_t = start; i_t != start + main*stride; i_t = i_t + size*stride) {
+///     for (i = i_t; i != i_t + size*stride; i = i + stride) body
+/// }
+/// // remainder iterations, fully expanded
+/// ```
+///
+/// # Errors
+///
+/// Returns [`UnrollError`] under the same conditions as full unrolling
+/// (not a `for`, unknown trip count, induction variable written), or
+/// [`UnrollError::ZeroFactor`] for a zero tile size.
+pub fn tile(body: &mut Block, path: &NodePath, size: u64) -> Result<(), UnrollError> {
+    if size == 0 {
+        return Err(UnrollError::ZeroFactor);
+    }
+    let stmt = path.resolve(body)?.clone();
+    let Stmt::For {
+        var,
+        init,
+        body: loop_body,
+        step,
+        ..
+    } = &stmt
+    else {
+        return Err(UnrollError::NotAForLoop);
+    };
+    let count = analysis::trip_count(&stmt).ok_or(UnrollError::UnknownTripCount)?;
+    if writes_var(loop_body, var) {
+        return Err(UnrollError::InductionVarWritten(var.clone()));
+    }
+    let start = init.as_const_int().ok_or(UnrollError::UnknownTripCount)?;
+    let stride = stride_of(step, var).ok_or(UnrollError::UnknownTripCount)?;
+    if size >= count {
+        return Ok(()); // tile covers the whole loop: nothing to do
+    }
+
+    let tile_var = format!("{var}_t");
+    let main_iters = count - count % size;
+    let outer_bound = start + (main_iters as i64) * stride;
+    let tile_span = (size as i64) * stride;
+
+    let inner = Stmt::For {
+        var: var.clone(),
+        init: Expr::var(&tile_var),
+        cond: Expr::binary(
+            BinOp::Ne,
+            Expr::var(var),
+            Expr::binary(BinOp::Add, Expr::var(&tile_var), Expr::Int(tile_span)),
+        ),
+        step: Expr::binary(BinOp::Add, Expr::var(var), Expr::Int(stride)),
+        body: loop_body.clone(),
+    };
+    let outer = Stmt::For {
+        var: tile_var.clone(),
+        init: Expr::Int(start),
+        cond: Expr::binary(BinOp::Ne, Expr::var(&tile_var), Expr::Int(outer_bound)),
+        step: Expr::binary(BinOp::Add, Expr::var(&tile_var), Expr::Int(tile_span)),
+        body: vec![inner],
+    };
+    let mut stmts = vec![outer];
+    for iter in main_iters..count {
+        let value = start + (iter as i64) * stride;
+        stmts.extend(substitute_block(loop_body, var, &Expr::Int(value)));
+    }
+
+    let (block, index) = path.resolve_block_mut(body)?;
+    if index >= block.len() {
+        return Err(UnrollError::BadPath(antarex_ir::IrError::BadPath(format!(
+            "statement index {index} out of bounds"
+        ))));
+    }
+    block.splice(index..=index, stmts);
+    Ok(())
+}
+
+fn stride_of(step: &Expr, var: &str) -> Option<i64> {
+    match step {
+        Expr::Binary(BinOp::Add, lhs, rhs) => match (&**lhs, &**rhs) {
+            (Expr::Var(v), _) if v == var => rhs.as_const_int(),
+            (_, Expr::Var(v)) if v == var => lhs.as_const_int(),
+            _ => None,
+        },
+        Expr::Binary(BinOp::Sub, lhs, rhs) => match (&**lhs, &**rhs) {
+            (Expr::Var(v), _) if v == var => rhs.as_const_int().map(|s| -s),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn writes_var(block: &Block, var: &str) -> bool {
+    use antarex_ir::LValue;
+    for stmt in block {
+        match stmt {
+            Stmt::Assign {
+                target: LValue::Var(name),
+                ..
+            } if name == var => return true,
+            Stmt::Decl { name, .. } if name == var => return true,
+            Stmt::For { var: inner, .. } if inner == var => continue,
+            _ => {}
+        }
+        if stmt.child_blocks().iter().any(|b| writes_var(b, var)) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antarex_ir::interp::{ExecEnv, Interp};
+    use antarex_ir::parse_program;
+    use antarex_ir::value::Value;
+
+    fn run_f(program: &antarex_ir::Program) -> Value {
+        Interp::new(program.clone())
+            .call("f", &[], &mut ExecEnv::new())
+            .unwrap()
+    }
+
+    #[test]
+    fn tiling_preserves_results() {
+        let src = "int f() { int s = 0; for (int i = 0; i < 24; i++) { s += i * i; } return s; }";
+        let reference = run_f(&parse_program(src).unwrap());
+        for size in [1u64, 2, 3, 4, 6, 8, 24, 99] {
+            let mut program = parse_program(src).unwrap();
+            program
+                .edit_function("f", |f| {
+                    tile(&mut f.body, &NodePath::root(1), size).unwrap()
+                })
+                .unwrap();
+            assert_eq!(run_f(&program), reference, "tile size {size}");
+        }
+    }
+
+    #[test]
+    fn tiling_with_remainder() {
+        let src = "int f() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; }";
+        let mut program = parse_program(src).unwrap();
+        program
+            .edit_function("f", |f| tile(&mut f.body, &NodePath::root(1), 4).unwrap())
+            .unwrap();
+        assert_eq!(run_f(&program), Value::Int(45));
+        // 8 iterations tiled (2 tiles of 4) + 2 expanded remainder stmts
+        let f = program.function("f").unwrap();
+        assert!(f.body.len() > 3);
+    }
+
+    #[test]
+    fn inner_tile_loop_has_constant_trip_count() {
+        // the enabling property: after tiling, the inner loop is
+        // fully-unrollable even though the tile variable is dynamic
+        let src = "int f() { int s = 0; for (int i = 0; i < 32; i++) { s += i; } return s; }";
+        let mut program = parse_program(src).unwrap();
+        program
+            .edit_function("f", |f| tile(&mut f.body, &NodePath::root(1), 8).unwrap())
+            .unwrap();
+        let f = program.function("f").unwrap();
+        let Stmt::For {
+            body: outer_body, ..
+        } = &f.body[1]
+        else {
+            panic!("expected outer tile loop");
+        };
+        // the inner loop: i from i_t to i_t + 8 — trip count is not
+        // *statically* constant by our analyser (bounds reference i_t),
+        // but unrolling by the tile factor is now always exact
+        assert!(matches!(&outer_body[0], Stmt::For { .. }));
+        assert_eq!(run_f(&program), Value::Int((0..32).sum::<i64>().into()));
+    }
+
+    #[test]
+    fn non_divisible_and_degenerate_sizes() {
+        let src = "int f() { int s = 0; for (int i = 0; i < 7; i++) { s += i; } return s; }";
+        let mut program = parse_program(src).unwrap();
+        program
+            .edit_function("f", |f| tile(&mut f.body, &NodePath::root(1), 3).unwrap())
+            .unwrap();
+        assert_eq!(run_f(&program), Value::Int(21));
+        // tile >= trip count: loop untouched
+        let mut program = parse_program(src).unwrap();
+        program
+            .edit_function("f", |f| tile(&mut f.body, &NodePath::root(1), 7).unwrap())
+            .unwrap();
+        assert_eq!(
+            antarex_ir::analysis::loops(&program.function("f").unwrap().body).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn negative_stride_tiling() {
+        let src = "int f() { int s = 0; for (int i = 12; i > 0; i -= 2) { s += i; } return s; }";
+        let mut program = parse_program(src).unwrap();
+        program
+            .edit_function("f", |f| tile(&mut f.body, &NodePath::root(1), 2).unwrap())
+            .unwrap();
+        assert_eq!(run_f(&program), Value::Int(42)); // 12+10+8+6+4+2
+    }
+
+    #[test]
+    fn errors_mirror_unrolling() {
+        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }";
+        let mut program = parse_program(src).unwrap();
+        let mut result = Ok(());
+        program
+            .edit_function("f", |f| result = tile(&mut f.body, &NodePath::root(1), 4))
+            .unwrap();
+        assert_eq!(result, Err(UnrollError::UnknownTripCount));
+        let mut block = parse_program("int f() { return 1; }")
+            .unwrap()
+            .function("f")
+            .unwrap()
+            .body
+            .clone();
+        assert_eq!(
+            tile(&mut block, &NodePath::root(0), 0),
+            Err(UnrollError::ZeroFactor)
+        );
+        assert_eq!(
+            tile(&mut block, &NodePath::root(0), 4),
+            Err(UnrollError::NotAForLoop)
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! Loop unrolling (`do LoopUnroll('full')`, paper Fig. 3).
+//!
+//! Full unrolling replaces a counted loop whose trip count is statically
+//! known by one body copy per iteration, with the induction variable
+//! substituted by its constant value and the copies constant-folded. The
+//! observable effect under the interpreter's cost model is the removal of
+//! per-iteration loop-control overhead — the speedup the paper's
+//! `UnrollInnermostLoops` aspect targets.
+
+use super::fold::fold_block;
+use super::subst::substitute_block;
+use antarex_ir::{analysis, Block, Expr, IrError, LValue, NodePath, Stmt};
+use std::fmt;
+
+/// Why a loop could not be unrolled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnrollError {
+    /// The path does not address a `for` loop.
+    NotAForLoop,
+    /// The loop's trip count is not a compile-time constant.
+    UnknownTripCount,
+    /// The loop body writes the induction variable, so substitution would
+    /// change semantics.
+    InductionVarWritten(String),
+    /// The requested unroll factor is zero.
+    ZeroFactor,
+    /// The path is invalid for this body.
+    BadPath(IrError),
+}
+
+impl fmt::Display for UnrollError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnrollError::NotAForLoop => write!(f, "statement is not a `for` loop"),
+            UnrollError::UnknownTripCount => write!(f, "loop trip count is not statically known"),
+            UnrollError::InductionVarWritten(var) => {
+                write!(f, "loop body writes induction variable `{var}`")
+            }
+            UnrollError::ZeroFactor => write!(f, "unroll factor must be at least 1"),
+            UnrollError::BadPath(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for UnrollError {}
+
+impl From<IrError> for UnrollError {
+    fn from(err: IrError) -> Self {
+        UnrollError::BadPath(err)
+    }
+}
+
+/// Fully unrolls the `for` loop addressed by `path` inside `body`.
+///
+/// # Errors
+///
+/// See [`UnrollError`]; in particular the trip count must be a compile-time
+/// constant (`$loop.numIter` in LARA terms).
+pub fn unroll_full(body: &mut Block, path: &NodePath) -> Result<(), UnrollError> {
+    let stmt = path.resolve(body)?.clone();
+    let plan = UnrollPlan::of(&stmt)?;
+    let mut copies = Vec::new();
+    for iter in 0..plan.count {
+        let value = plan.value_at(iter);
+        let copy = substitute_block(&plan.body, &plan.var, &Expr::Int(value));
+        copies.extend(fold_block(&copy));
+    }
+    splice(body, path, copies)
+}
+
+/// Unrolls the loop by `factor`, keeping a residual loop structure: the main
+/// loop executes `factor` body copies per iteration and a fully-unrolled
+/// epilogue covers the remainder.
+///
+/// # Errors
+///
+/// See [`UnrollError`]. Like [`unroll_full`], the trip count must be known.
+pub fn unroll_by_factor(body: &mut Block, path: &NodePath, factor: u64) -> Result<(), UnrollError> {
+    if factor == 0 {
+        return Err(UnrollError::ZeroFactor);
+    }
+    let stmt = path.resolve(body)?.clone();
+    let plan = UnrollPlan::of(&stmt)?;
+    if factor >= plan.count {
+        return unroll_full(body, path);
+    }
+    let main_iters = plan.count - plan.count % factor;
+    let mut main_body = Vec::new();
+    for j in 0..factor {
+        let offset = (j as i64) * plan.stride;
+        let var_expr = if offset == 0 {
+            Expr::var(&plan.var)
+        } else {
+            Expr::binary(
+                antarex_ir::BinOp::Add,
+                Expr::var(&plan.var),
+                Expr::Int(offset),
+            )
+        };
+        main_body.extend(fold_block(&substitute_block(
+            &plan.body, &plan.var, &var_expr,
+        )));
+    }
+    let bound = plan.start + (main_iters as i64) * plan.stride;
+    let main_loop = Stmt::For {
+        var: plan.var.clone(),
+        init: Expr::Int(plan.start),
+        // `!=` terminates exactly because (bound - start) is a multiple of
+        // the widened stride.
+        cond: Expr::binary(
+            antarex_ir::BinOp::Ne,
+            Expr::var(&plan.var),
+            Expr::Int(bound),
+        ),
+        step: Expr::binary(
+            antarex_ir::BinOp::Add,
+            Expr::var(&plan.var),
+            Expr::Int(plan.stride * factor as i64),
+        ),
+        body: main_body,
+    };
+    let mut stmts = vec![main_loop];
+    for iter in main_iters..plan.count {
+        let value = plan.value_at(iter);
+        stmts.extend(fold_block(&substitute_block(
+            &plan.body,
+            &plan.var,
+            &Expr::Int(value),
+        )));
+    }
+    splice(body, path, stmts)
+}
+
+struct UnrollPlan {
+    var: String,
+    start: i64,
+    stride: i64,
+    count: u64,
+    body: Block,
+}
+
+impl UnrollPlan {
+    fn of(stmt: &Stmt) -> Result<Self, UnrollError> {
+        let Stmt::For {
+            var,
+            init,
+            body,
+            step,
+            ..
+        } = stmt
+        else {
+            return Err(UnrollError::NotAForLoop);
+        };
+        let count = analysis::trip_count(stmt).ok_or(UnrollError::UnknownTripCount)?;
+        if writes_var(body, var) {
+            return Err(UnrollError::InductionVarWritten(var.clone()));
+        }
+        let start = init.as_const_int().ok_or(UnrollError::UnknownTripCount)?;
+        // trip_count already validated the step shape; recover the stride.
+        let stride = stride_of(step, var).ok_or(UnrollError::UnknownTripCount)?;
+        Ok(UnrollPlan {
+            var: var.clone(),
+            start,
+            stride,
+            count,
+            body: body.clone(),
+        })
+    }
+
+    fn value_at(&self, iter: u64) -> i64 {
+        self.start + (iter as i64) * self.stride
+    }
+}
+
+fn stride_of(step: &Expr, var: &str) -> Option<i64> {
+    match step {
+        Expr::Binary(antarex_ir::BinOp::Add, lhs, rhs) => match (&**lhs, &**rhs) {
+            (Expr::Var(v), _) if v == var => rhs.as_const_int(),
+            (_, Expr::Var(v)) if v == var => lhs.as_const_int(),
+            _ => None,
+        },
+        Expr::Binary(antarex_ir::BinOp::Sub, lhs, rhs) => match (&**lhs, &**rhs) {
+            (Expr::Var(v), _) if v == var => rhs.as_const_int().map(|s| -s),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn writes_var(block: &Block, var: &str) -> bool {
+    for stmt in block {
+        match stmt {
+            Stmt::Assign {
+                target: LValue::Var(name),
+                ..
+            } if name == var => return true,
+            Stmt::Decl { name, .. } if name == var => return true,
+            // a nested for redeclaring the variable shadows it; substitution
+            // handles that, so it is not a write of *our* variable
+            Stmt::For {
+                var: inner, body, ..
+            } if inner == var => {
+                let _ = body;
+                continue;
+            }
+            _ => {}
+        }
+        if stmt.child_blocks().iter().any(|b| writes_var(b, var)) {
+            return true;
+        }
+    }
+    false
+}
+
+fn splice(body: &mut Block, path: &NodePath, stmts: Vec<Stmt>) -> Result<(), UnrollError> {
+    let (block, index) = path.resolve_block_mut(body)?;
+    if index >= block.len() {
+        return Err(UnrollError::BadPath(IrError::BadPath(format!(
+            "statement index {index} out of bounds"
+        ))));
+    }
+    block.splice(index..=index, stmts);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antarex_ir::interp::{ExecEnv, Interp};
+    use antarex_ir::value::Value;
+    use antarex_ir::{parse_program, Program};
+
+    fn run(program: Program, f: &str, args: &[Value]) -> (Value, antarex_ir::cost::ExecStats) {
+        let mut interp = Interp::new(program);
+        let mut env = ExecEnv::new();
+        let out = interp.call(f, args, &mut env).unwrap();
+        (out, env.stats)
+    }
+
+    fn unrolled(src: &str, path: NodePath) -> Program {
+        let mut program = parse_program(src).unwrap();
+        program
+            .edit_function("f", |f| unroll_full(&mut f.body, &path).unwrap())
+            .unwrap();
+        program
+    }
+
+    #[test]
+    fn full_unroll_preserves_result_and_cuts_cost() {
+        let src = "int f() { int s = 0; for (int i = 0; i < 16; i++) { s += i * i; } return s; }";
+        let base = parse_program(src).unwrap();
+        let unrolled = unrolled(src, NodePath::root(1));
+        let (a, stats_a) = run(base, "f", &[]);
+        let (b, stats_b) = run(unrolled, "f", &[]);
+        assert_eq!(a, b);
+        assert_eq!(b, Value::Int((0..16).map(|i| i * i).sum::<i64>()));
+        assert_eq!(stats_b.loop_iters, 0, "loop is gone");
+        assert!(stats_b.cost < stats_a.cost, "loop overhead removed");
+    }
+
+    #[test]
+    fn full_unroll_negative_stride() {
+        let src = "int f() { int s = 0; for (int i = 6; i > 0; i -= 2) { s += i; } return s; }";
+        let unrolled = unrolled(src, NodePath::root(1));
+        let (v, _) = run(unrolled, "f", &[]);
+        assert_eq!(v, Value::Int(12)); // 6 + 4 + 2
+    }
+
+    #[test]
+    fn full_unroll_zero_trip_loop_disappears() {
+        let src = "int f() { int s = 7; for (int i = 3; i < 3; i++) { s = 0; } return s; }";
+        let program = unrolled(src, NodePath::root(1));
+        assert_eq!(program.function("f").unwrap().body.len(), 2);
+        let (v, _) = run(program, "f", &[]);
+        assert_eq!(v, Value::Int(7));
+    }
+
+    #[test]
+    fn unknown_trip_count_rejected() {
+        let mut program = parse_program(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }",
+        )
+        .unwrap();
+        let mut result = Ok(());
+        program
+            .edit_function("f", |f| {
+                result = unroll_full(&mut f.body, &NodePath::root(1));
+            })
+            .unwrap();
+        assert_eq!(result, Err(UnrollError::UnknownTripCount));
+    }
+
+    #[test]
+    fn induction_write_rejected() {
+        let mut program = parse_program(
+            "int f() { int s = 0; for (int i = 0; i < 9; i++) { i = i + 1; s += i; } return s; }",
+        )
+        .unwrap();
+        let mut result = Ok(());
+        program
+            .edit_function("f", |f| {
+                result = unroll_full(&mut f.body, &NodePath::root(1));
+            })
+            .unwrap();
+        assert_eq!(result, Err(UnrollError::InductionVarWritten("i".into())));
+    }
+
+    #[test]
+    fn non_loop_rejected() {
+        let mut program = parse_program("int f() { return 1; }").unwrap();
+        let mut result = Ok(());
+        program
+            .edit_function("f", |f| {
+                result = unroll_full(&mut f.body, &NodePath::root(0));
+            })
+            .unwrap();
+        assert_eq!(result, Err(UnrollError::NotAForLoop));
+    }
+
+    #[test]
+    fn factor_unroll_preserves_result() {
+        let src = "int f(double a[]) {
+            int s = 0;
+            for (int i = 0; i < 10; i++) { s += i * 3; }
+            return s;
+        }";
+        for factor in [1, 2, 3, 4, 5, 7, 10, 99] {
+            let mut program = parse_program(src).unwrap();
+            program
+                .edit_function("f", |f| {
+                    unroll_by_factor(&mut f.body, &NodePath::root(1), factor).unwrap()
+                })
+                .unwrap();
+            let (v, _) = run(program, "f", &[Value::from(vec![0.0; 1])]);
+            assert_eq!(
+                v,
+                Value::Int((0..10).map(|i| i * 3).sum::<i64>()),
+                "factor {factor}"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_unroll_reduces_iterations() {
+        let src = "int f() { int s = 0; for (int i = 0; i < 100; i++) { s += i; } return s; }";
+        let mut program = parse_program(src).unwrap();
+        program
+            .edit_function("f", |f| {
+                unroll_by_factor(&mut f.body, &NodePath::root(1), 4).unwrap()
+            })
+            .unwrap();
+        let (v, stats) = run(program, "f", &[]);
+        assert_eq!(v, Value::Int(4950));
+        assert_eq!(stats.loop_iters, 25);
+    }
+
+    #[test]
+    fn factor_unroll_with_remainder() {
+        let src = "int f() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; }";
+        let mut program = parse_program(src).unwrap();
+        program
+            .edit_function("f", |f| {
+                unroll_by_factor(&mut f.body, &NodePath::root(1), 4).unwrap()
+            })
+            .unwrap();
+        let (v, stats) = run(program, "f", &[]);
+        assert_eq!(v, Value::Int(45));
+        assert_eq!(
+            stats.loop_iters, 2,
+            "8 iterations in main loop, 2 in epilogue"
+        );
+    }
+
+    #[test]
+    fn zero_factor_rejected() {
+        let mut body = parse_program("int f() { for (int i = 0; i < 4; i++) { g(); } return 0; }")
+            .unwrap()
+            .function("f")
+            .unwrap()
+            .body
+            .clone();
+        assert_eq!(
+            unroll_by_factor(&mut body, &NodePath::root(0), 0),
+            Err(UnrollError::ZeroFactor)
+        );
+    }
+
+    #[test]
+    fn nested_loop_unrolled_in_place() {
+        let src = "int f() {
+            int s = 0;
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 4; j++) { s += j; }
+            }
+            return s;
+        }";
+        let mut program = parse_program(src).unwrap();
+        // unroll the inner loop: path = outer loop (1), body block 0, stmt 0
+        program
+            .edit_function("f", |f| {
+                unroll_full(&mut f.body, &NodePath::root(1).child(0, 0)).unwrap()
+            })
+            .unwrap();
+        let (v, stats) = run(program, "f", &[]);
+        assert_eq!(v, Value::Int(18)); // 3 * (0+1+2+3)
+        assert_eq!(stats.loop_iters, 3, "only the outer loop remains");
+    }
+}

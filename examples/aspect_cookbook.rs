@@ -1,0 +1,120 @@
+//! A cookbook of every weaver action, driven entirely from the DSL.
+//!
+//! The ANTAREX DSL separates *what to change* (the aspect) from *the code
+//! being changed* (mini-C). This example walks one kernel through the full
+//! action vocabulary — `insert`, `do LoopTile`, `do LoopUnroll`,
+//! `do Inline`, and the Fig. 4 dynamic `Specialize`/`AddVersion` pair —
+//! printing the woven source after each step.
+//!
+//! Run with: `cargo run --example aspect_cookbook`
+
+use antarex::core::flow::ToolFlow;
+use antarex::dsl::DslValue;
+use antarex::ir::value::Value;
+use std::error::Error;
+
+const APP: &str = "double weight(double x) { return x * 0.5 + 1.0; }
+double kernel(double a[], int size) {
+    double s = 0.0;
+    for (int i = 0; i < size; i++) { s += weight(a[i]); }
+    return s;
+}
+double run(double buf[], int n) { return kernel(buf, n); }";
+
+const ASPECTS: &str = "
+aspectdef Instrument
+  input funcName end
+  select fCall end
+  apply
+    insert before %{probe('[[funcName]]', [[$fCall.argList]]);}%;
+  end
+  condition $fCall.name == funcName end
+end
+
+aspectdef InlineWeights
+  select fCall{'weight'} end
+  apply
+    do Inline();
+  end
+end
+
+aspectdef TileFixedLoops
+  input $func, size end
+  select $func.loop{type=='for'} end
+  apply
+    do LoopTile(size);
+  end
+  condition $loop.numIter >= 16 end
+end
+
+aspectdef UnrollInnermostLoops
+  input $func, threshold end
+  select $func.loop{type=='for'} end
+  apply
+    do LoopUnroll('full');
+  end
+  condition
+    $loop.isInnermost && $loop.numIter <= threshold
+  end
+end
+
+aspectdef SpecializeKernel
+  input lowT, highT end
+  call spCall: PrepareSpecialize('kernel','size');
+  select fCall{'kernel'}.arg{'size'} end
+  apply dynamic
+    call spOut : Specialize($fCall, $arg.name, $arg.runtimeValue);
+    call UnrollInnermostLoops(spOut.$func, $arg.runtimeValue);
+    call AddVersion(spCall, spOut.$func, $arg.runtimeValue);
+  end
+  condition
+    $arg.runtimeValue >= lowT && $arg.runtimeValue <= highT
+  end
+end
+";
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut flow = ToolFlow::new(APP, ASPECTS)?;
+
+    println!("=== 1. insert: Fig. 2-style instrumentation ===");
+    flow.weave("Instrument", &[DslValue::from("kernel")])?;
+    show(&flow, "run");
+
+    println!("=== 2. Inline: expand the weight() helper into the loop ===");
+    flow.weave("InlineWeights", &[])?;
+    show(&flow, "kernel");
+
+    println!("=== 3. dynamic specialization plan (Fig. 4) ===");
+    flow.weave("SpecializeKernel", &[DslValue::Int(4), DslValue::Int(64)])?;
+    println!(
+        "captured {} dynamic plan(s); versions table prepared for `kernel`\n",
+        flow.weaver().dynamic_plans().len()
+    );
+
+    println!("=== 4. runtime: dynamic weave on first in-range call ===");
+    let mut runtime = flow.deploy();
+    runtime.register_host("probe", Box::new(|_| Ok(Value::Unit)));
+    let buf = Value::from(vec![0.5; 32]);
+    let (value, stats) = runtime.call("run", &[buf.clone(), Value::Int(32)])?;
+    println!(
+        "first call:  value={value} cost={} loop_iters={}",
+        stats.cost, stats.loop_iters
+    );
+    let (_, stats) = runtime.call("run", &[buf, Value::Int(32)])?;
+    println!(
+        "second call: cached specialized version, cost={} loop_iters={}",
+        stats.cost, stats.loop_iters
+    );
+    println!(
+        "\nfinal program functions: {:?}",
+        runtime.program().function_names()
+    );
+    Ok(())
+}
+
+fn show(flow: &ToolFlow, function: &str) {
+    let program = flow.program();
+    if let Some(f) = program.function(function) {
+        println!("{}", antarex::ir::printer::print_function(f));
+    }
+}

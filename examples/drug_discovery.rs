@@ -1,0 +1,106 @@
+//! Use Case 1 (paper §VII-a): computer-accelerated drug discovery.
+//!
+//! A synthetic LiGen-style screening campaign runs on a simulated
+//! CINECA-like heterogeneous cluster. The example shows the two ANTAREX
+//! levers for this use case:
+//!
+//! 1. **Dynamic load balancing / task placement** — the paper's stated
+//!    challenge: per-ligand cost is wildly imbalanced, so static
+//!    partitioning wastes the cluster; self-scheduling and
+//!    heterogeneity-aware dispatch recover it.
+//! 2. **Application autotuning** — the `poses` knob trades screening
+//!    quality for throughput; a design-time DSE builds the knowledge base
+//!    and the mARGOt-style manager picks the best point under a quality
+//!    SLA.
+//!
+//! Run with: `cargo run --example drug_discovery`
+
+use antarex::apps::docking::{generate_library, generate_pocket, DockingCampaign};
+use antarex::rtrm::dispatch::{run_task_pool, DispatchStrategy};
+use antarex::sim::node::{Node, NodeSpec};
+use antarex::tuner::goal::{Constraint, Objective};
+use antarex::tuner::{AppManager, Configuration, KnobValue, KnowledgeBase, OperatingPoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    println!("=== Use Case 1: drug discovery on a heterogeneous cluster ===\n");
+
+    // a screening library with realistic size imbalance
+    let pocket = generate_pocket(30, &mut rng);
+    let mut library = generate_library(600, 24, &mut rng);
+    // catalogs are sorted by molecular weight: the worst case for static
+    // partitioning
+    library.sort_by_key(antarex::apps::docking::Ligand::size);
+    // production screening samples poses exhaustively; the quality sweep
+    // below uses reduced settings on the real scorer
+    let campaign = DockingCampaign::new(library.clone(), pocket.clone(), 20_000, 7);
+    let tasks = campaign.as_tasks();
+
+    // --- dispatch strategies on 4 accelerated + 4 CPU nodes -------------
+    println!(
+        "--- task placement ({} ligands, 12 devices) ---",
+        tasks.len()
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "strategy", "makespan [s]", "energy [kJ]", "imbalance"
+    );
+    for strategy in DispatchStrategy::all() {
+        let mut nodes: Vec<Node> = (0..8)
+            .map(|i| {
+                if i < 4 {
+                    Node::nominal(NodeSpec::cineca_accelerated(), i)
+                } else {
+                    Node::nominal(NodeSpec::cineca_xeon(), i)
+                }
+            })
+            .collect();
+        let outcome = run_task_pool(&mut nodes, &tasks, strategy);
+        println!(
+            "{:<14} {:>12.1} {:>12.1} {:>10.2}",
+            strategy.name(),
+            outcome.makespan_s,
+            outcome.energy_j / 1e3,
+            outcome.imbalance()
+        );
+    }
+
+    // --- the poses knob: quality vs throughput ---------------------------
+    println!("\n--- autotuning the `poses` knob (quality vs screening time) ---");
+    let reference = DockingCampaign::new(library.clone(), pocket.clone(), 64, 7).run();
+    let mut kb = KnowledgeBase::new();
+    println!(
+        "{:>6} {:>14} {:>12}",
+        "poses", "interactions", "hit overlap"
+    );
+    for poses in [2usize, 4, 8, 16, 32, 64] {
+        let result = DockingCampaign::new(library.clone(), pocket.clone(), poses, 7).run();
+        let overlap = result.hit_overlap(&reference, 20);
+        println!(
+            "{poses:>6} {:>14} {:>12.2}",
+            result.total_interactions, overlap
+        );
+        let mut config = Configuration::new();
+        config.set("poses", KnobValue::Int(poses as i64));
+        kb.push(OperatingPoint::new(
+            config,
+            [
+                ("work".to_string(), result.total_interactions as f64),
+                ("quality".to_string(), overlap),
+            ],
+        ));
+    }
+
+    // the mARGOt-style manager: cheapest point that keeps >= 70% of hits
+    let mut manager = AppManager::new(kb, Objective::minimize("work"));
+    manager.add_constraint(Constraint::at_least("quality", 0.7));
+    let chosen = manager.select().expect("a feasible operating point exists");
+    println!(
+        "\nANTAREX manager picks poses = {} (cheapest point with >= 70% hit overlap)",
+        chosen.get_int("poses").unwrap()
+    );
+    Ok(())
+}

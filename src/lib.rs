@@ -1,0 +1,47 @@
+//! # antarex — umbrella crate
+//!
+//! A from-scratch Rust reproduction of the system described in
+//! *"AutoTuning and Adaptivity appRoach for Energy efficient eXascale HPC
+//! systems: the ANTAREX Approach"* (Silvano et al., DATE 2016).
+//!
+//! This crate re-exports the whole workspace under one namespace and
+//! hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). Start with:
+//!
+//! * [`dsl`] — the LARA-dialect aspect language (the paper's Figs. 2–4
+//!   parse and run verbatim; see [`dsl::figures`]);
+//! * [`core`] — the Fig. 1 tool flow: weave → deploy → adapt;
+//! * [`tuner`] — the grey-box application autotuner;
+//! * [`sim`] + [`rtrm`] — the simulated heterogeneous platform and its
+//!   runtime resource/power manager;
+//! * [`apps`] — the two driving use cases (drug discovery, navigation).
+//!
+//! ```
+//! use antarex::core::flow::ToolFlow;
+//! use antarex::dsl::figures::FIG3_UNROLL_INNERMOST_LOOPS;
+//! use antarex::dsl::DslValue;
+//!
+//! # fn main() -> Result<(), antarex::core::FlowError> {
+//! let mut flow = ToolFlow::new(
+//!     antarex::core::scenario::SUMSQ_KERNEL,
+//!     FIG3_UNROLL_INNERMOST_LOOPS,
+//! )?;
+//! flow.weave(
+//!     "UnrollInnermostLoops",
+//!     &[DslValue::FuncRef("sumsq16".into()), DslValue::Int(32)],
+//! )?;
+//! assert!(!flow.emit_source().contains("for ("));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use antarex_apps as apps;
+pub use antarex_core as core;
+pub use antarex_dsl as dsl;
+pub use antarex_ir as ir;
+pub use antarex_monitor as monitor;
+pub use antarex_precision as precision;
+pub use antarex_rtrm as rtrm;
+pub use antarex_sim as sim;
+pub use antarex_tuner as tuner;
+pub use antarex_weaver as weaver;

@@ -1,0 +1,234 @@
+//! Integration: autotuning over *woven code* — the knob space includes
+//! code transformations (unroll factor) and precision, measured on the
+//! interpreter's cost model (experiments A1/A2 end-to-end shapes).
+
+use antarex::ir::interp::{ExecEnv, Interp};
+use antarex::ir::value::Value;
+use antarex::ir::{parse_program, NodePath};
+use antarex::precision::tuner::{PrecisionTuner, TunerOptions};
+use antarex::tuner::dse::explore;
+use antarex::tuner::goal::Objective;
+use antarex::tuner::knob::Knob;
+use antarex::tuner::search::bandit::Bandit;
+use antarex::tuner::search::exhaustive::Exhaustive;
+use antarex::tuner::space::{Configuration, DesignSpace};
+use antarex::weaver::transform::unroll::unroll_by_factor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+const KERNEL: &str = "double saxpy(double a[], double b[], int n) {
+    double s = 0.0;
+    for (int i = 0; i < 96; i++) { s += a[i] * 1.5 + b[i]; }
+    return s;
+}";
+
+/// Cost of the kernel with a given unroll factor applied by the weaver.
+fn measured_cost(unroll: u64) -> f64 {
+    let mut program = parse_program(KERNEL).unwrap();
+    if unroll > 1 {
+        program
+            .edit_function("saxpy", |f| {
+                unroll_by_factor(&mut f.body, &NodePath::root(1), unroll).unwrap();
+            })
+            .unwrap();
+    }
+    let mut env = ExecEnv::new();
+    Interp::new(program)
+        .call(
+            "saxpy",
+            &[
+                Value::from(vec![1.0; 96]),
+                Value::from(vec![2.0; 96]),
+                Value::Int(96),
+            ],
+            &mut env,
+        )
+        .unwrap();
+    env.stats.cost as f64
+}
+
+#[test]
+fn a1_tuning_the_unroll_knob_finds_a_real_winner() {
+    let space = DesignSpace::new(vec![Knob::int("unroll", 1, 32, 1)]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let report = explore(
+        &space,
+        Box::new(Exhaustive::new()),
+        &Objective::minimize("cost"),
+        64,
+        &mut rng,
+        |config: &Configuration| -> BTreeMap<String, f64> {
+            let unroll = config.get_int("unroll").unwrap() as u64;
+            [("cost".to_string(), measured_cost(unroll))].into()
+        },
+    );
+    let best = report.best.unwrap();
+    let best_unroll = best.get_int("unroll").unwrap();
+    assert!(best_unroll > 1, "unrolling must pay off, got {best_unroll}");
+    // measured monotone gain up to the full factor region
+    assert!(measured_cost(best_unroll as u64) < measured_cost(1) * 0.9);
+}
+
+#[test]
+fn a1_grey_box_space_converges_faster_than_black_box() {
+    // grey-box: annotations restrict the unroll knob to powers of two —
+    // 6 candidates instead of 32
+    let black = DesignSpace::new(vec![Knob::int("unroll", 1, 32, 1)]);
+    let grey = black.restrict("unroll", |v| {
+        v.as_int().is_some_and(|i| i > 0 && (i & (i - 1)) == 0)
+    });
+    assert!(grey.size() < black.size() / 4);
+
+    let evaluate = |config: &Configuration| -> BTreeMap<String, f64> {
+        let unroll = config.get_int("unroll").unwrap() as u64;
+        [("cost".to_string(), measured_cost(unroll))].into()
+    };
+
+    let budget = 8;
+    let best_of = |report: &antarex::tuner::dse::DseReport| {
+        report
+            .knowledge
+            .points()
+            .iter()
+            .filter_map(|p| p.metric("cost"))
+            .fold(f64::INFINITY, f64::min)
+    };
+    // grey-box is deterministic (exhaustive over the shrunk space)
+    let mut rng = StdRng::seed_from_u64(7);
+    let grey_best = best_of(&explore(
+        &grey,
+        Box::new(Exhaustive::new()),
+        &Objective::minimize("cost"),
+        budget,
+        &mut rng,
+        evaluate,
+    ));
+    // black-box is stochastic: average its best over several seeds
+    let mut black_sum = 0.0;
+    let seeds = 5u64;
+    for seed in 0..seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        black_sum += best_of(&explore(
+            &black,
+            Box::new(Bandit::default_ensemble()),
+            &Objective::minimize("cost"),
+            budget,
+            &mut rng,
+            evaluate,
+        ));
+    }
+    let black_mean = black_sum / seeds as f64;
+    assert!(
+        grey_best <= black_mean * 1.02,
+        "grey-box {grey_best} vs black-box mean {black_mean} at budget {budget}"
+    );
+}
+
+#[test]
+fn a2_precision_tuning_composes_with_the_pipeline() {
+    let program = parse_program(KERNEL).unwrap();
+    let inputs: Vec<Vec<Value>> = (0..4)
+        .map(|k| {
+            vec![
+                Value::from((0..96).map(|i| 0.01 * (i + k) as f64).collect::<Vec<f64>>()),
+                Value::from(vec![0.5; 96]),
+                Value::Int(96),
+            ]
+        })
+        .collect();
+    let outcome = PrecisionTuner::new(program, "saxpy", inputs)
+        .tune(&TunerOptions {
+            error_budget: 1e-3,
+            max_sweeps: 6,
+        })
+        .unwrap();
+    assert!(outcome.max_rel_error <= 1e-3);
+    assert!(outcome.energy_ratio < 0.9, "ratio {}", outcome.energy_ratio);
+    // the tuned program still parses and prints
+    let text = antarex::ir::printer::print_program(&outcome.program);
+    assert!(antarex::ir::parse_program(&text).is_ok());
+}
+
+/// The paper's third knob kind: *code variants*. Three variants of the
+/// same kernel are produced by weaver transforms, registered as a
+/// categorical knob, and the tuner picks the cheapest by measurement.
+#[test]
+fn code_variant_knob_selects_the_best_transform() {
+    use antarex::weaver::transform::tile::tile;
+    use antarex::weaver::transform::unroll::unroll_by_factor;
+
+    // build the variants
+    let base = parse_program(KERNEL).unwrap();
+    let mut unrolled = base.clone();
+    unrolled
+        .edit_function("saxpy", |f| {
+            unroll_by_factor(&mut f.body, &NodePath::root(1), 8).unwrap();
+        })
+        .unwrap();
+    let mut tiled = base.clone();
+    tiled
+        .edit_function("saxpy", |f| {
+            tile(&mut f.body, &NodePath::root(1), 16).unwrap();
+        })
+        .unwrap();
+    let variants: Vec<(&str, antarex::ir::Program)> =
+        vec![("scalar", base), ("unroll8", unrolled), ("tile16", tiled)];
+
+    let cost_of = |program: &antarex::ir::Program| -> f64 {
+        let mut env = ExecEnv::new();
+        Interp::new(program.clone())
+            .call(
+                "saxpy",
+                &[
+                    Value::from(vec![1.0; 96]),
+                    Value::from(vec![2.0; 96]),
+                    Value::Int(96),
+                ],
+                &mut env,
+            )
+            .unwrap();
+        env.stats.cost as f64
+    };
+
+    let space = DesignSpace::new(vec![Knob::choice(
+        "variant",
+        variants.iter().map(|(n, _)| n.to_string()),
+    )]);
+    let mut rng = StdRng::seed_from_u64(3);
+    let report = explore(
+        &space,
+        Box::new(Exhaustive::new()),
+        &Objective::minimize("cost"),
+        10,
+        &mut rng,
+        |config: &Configuration| -> BTreeMap<String, f64> {
+            let name = config.get_choice("variant").unwrap();
+            let program = &variants.iter().find(|(n, _)| *n == name).unwrap().1;
+            [("cost".to_string(), cost_of(program))].into()
+        },
+    );
+    let best = report.best.unwrap();
+    assert_eq!(
+        best.get_choice("variant"),
+        Some("unroll8"),
+        "unrolling sheds loop overhead; tiling alone adds a nest"
+    );
+    // and the variants all compute the same value (code-variant safety)
+    let mut results = Vec::new();
+    for (_, program) in &variants {
+        let out = Interp::new(program.clone())
+            .call(
+                "saxpy",
+                &[
+                    Value::from(vec![1.0; 96]),
+                    Value::from(vec![2.0; 96]),
+                    Value::Int(96),
+                ],
+                &mut ExecEnv::new(),
+            )
+            .unwrap();
+        results.push(out);
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+}

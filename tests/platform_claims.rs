@@ -1,0 +1,149 @@
+//! Integration: the paper's quantitative claims hold on the simulated
+//! platform (experiments C1–C5) — shapes, not absolute values.
+
+use antarex::core::exascale::{amdahl_speedup, ExascaleProjection, EXAFLOPS};
+use antarex::rtrm::governor::{run_with_governor, Governor, GovernorKind};
+use antarex::sim::cooling::{ambient_temp_c, CoolingPlant, SUMMER_DAY, WINTER_DAY};
+use antarex::sim::job::WorkUnit;
+use antarex::sim::node::{Node, NodeSpec};
+use antarex::sim::variability::ProcessVariation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// C1 — §I: heterogeneous efficiency ≈ 3× homogeneous
+/// (paper: 7,032 vs 2,304 MFLOPS/W on the June 2015 Green500).
+#[test]
+fn c1_heterogeneous_is_about_three_times_homogeneous() {
+    let work = WorkUnit::compute_bound(2e13);
+
+    let mut homo = Node::nominal(NodeSpec::cineca_xeon(), 0);
+    let homo_outcome = homo.execute(&work);
+    let homo_eff = homo_outcome.mflops_per_watt(work.flops);
+
+    let mut hetero = Node::nominal(NodeSpec::cineca_accelerated(), 1);
+    let halves = work.split(2);
+    let a = hetero.execute_offloaded(&halves[0], 0);
+    let b = hetero.execute_offloaded(&halves[1], 1);
+    let hetero_eff = work.flops / 1e6 / (a.energy_j + b.energy_j);
+
+    let ratio = hetero_eff / homo_eff;
+    assert!(
+        (2.2..4.2).contains(&ratio),
+        "heterogeneous/homogeneous efficiency ratio {ratio:.2} not ≈ 3x \
+         (hetero {hetero_eff:.0}, homo {homo_eff:.0} MFLOPS/W)"
+    );
+}
+
+/// C2 — §V: ≈15% energy variation across nominally identical components.
+#[test]
+fn c2_population_energy_spread_near_fifteen_percent() {
+    let mut rng = StdRng::seed_from_u64(161);
+    let work = WorkUnit::with_intensity(2e12, 4.0);
+    let energies: Vec<f64> = (0..100)
+        .map(|i| {
+            let mut node = Node::with_variation(
+                NodeSpec::cineca_xeon(),
+                i,
+                ProcessVariation::sample(&mut rng),
+            );
+            node.execute(&work).energy_j
+        })
+        .collect();
+    let mean = energies.iter().sum::<f64>() / energies.len() as f64;
+    let min = energies.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = energies.iter().cloned().fold(0.0f64, f64::max);
+    let spread = (max - min) / mean;
+    assert!(
+        (0.08..0.35).contains(&spread),
+        "population energy spread {spread:.3}, expected near the paper's 15%"
+    );
+}
+
+/// C3 — §V: the optimal operating point saves 18–50% node energy vs the
+/// Linux governor, depending on the application profile.
+#[test]
+fn c3_optimal_operating_point_savings_band() {
+    let profiles = [
+        WorkUnit::memory_bound(3e11),
+        WorkUnit::with_intensity(3e11, 1.0),
+        WorkUnit::with_intensity(5e11, 3.0),
+    ];
+    let mut savings = Vec::new();
+    for profile in &profiles {
+        let work = vec![*profile; 6];
+        let mut n1 = Node::nominal(NodeSpec::cineca_xeon(), 0);
+        let (_, e_linux) = run_with_governor(
+            &mut n1,
+            &mut Governor::new(GovernorKind::Performance),
+            &work,
+        );
+        let mut n2 = Node::nominal(NodeSpec::cineca_xeon(), 1);
+        let (_, e_opt) = run_with_governor(
+            &mut n2,
+            &mut Governor::new(GovernorKind::EnergyOptimal),
+            &work,
+        );
+        savings.push(1.0 - e_opt / e_linux);
+    }
+    let max_saving = savings.iter().cloned().fold(0.0, f64::max);
+    let min_saving = savings.iter().cloned().fold(1.0, f64::min);
+    assert!(
+        max_saving >= 0.30,
+        "memory-bound saving should approach the top of the 18-50% band, got {savings:?}"
+    );
+    assert!(
+        min_saving >= 0.0 && max_saving <= 0.60,
+        "savings out of plausible range: {savings:?}"
+    );
+    // at least one mixed profile inside the paper's band
+    assert!(
+        savings.iter().any(|s| (0.18..=0.50).contains(s)),
+        "no profile inside the 18-50% band: {savings:?}"
+    );
+}
+
+/// C4 — §V: >10% PUE degradation winter → summer.
+#[test]
+fn c4_pue_seasonal_loss_exceeds_ten_percent() {
+    let plant = CoolingPlant::european_datacenter();
+    let winter = plant.pue(1e6, ambient_temp_c(WINTER_DAY));
+    let summer = plant.pue(1e6, ambient_temp_c(SUMMER_DAY));
+    let loss = (summer - winter) / winter;
+    assert!(loss > 0.10, "seasonal PUE loss {loss:.3} <= 10%");
+    assert!(loss < 0.40, "seasonal PUE loss {loss:.3} implausibly large");
+}
+
+/// C5 — §I: at 2015-era efficiency, an exaFLOPS machine misses the 20 MW
+/// envelope by roughly two orders of magnitude; use-case scaling follows
+/// Amdahl.
+#[test]
+fn c5_exascale_projection_gap() {
+    // measure the simulated heterogeneous node
+    let work = WorkUnit::compute_bound(1e13);
+    let mut node = Node::nominal(NodeSpec::cineca_accelerated(), 0);
+    let halves = work.split(2);
+    let a = node.execute_offloaded(&halves[0], 0);
+    let b = node.execute_offloaded(&halves[1], 1);
+    let time = a.time_s.max(b.time_s);
+    let gflops = work.flops / 1e9 / time;
+    let power = (a.energy_j + b.energy_j) / time;
+
+    let projection = ExascaleProjection::new(gflops, power, 1.25);
+    assert!(!projection.fits_envelope());
+    let gap = projection.efficiency_gap();
+    assert!(
+        (10.0..300.0).contains(&gap),
+        "efficiency gap {gap:.0}x should be order(s) of magnitude"
+    );
+    let projected_mw = projection.projected_power_w(EXAFLOPS) / 1e6;
+    assert!(projected_mw > 100.0, "projected {projected_mw:.0} MW");
+
+    // the docking use case is embarrassingly parallel (tiny serial part):
+    // it keeps scaling well toward exascale node counts
+    let nodes = projection.nodes_needed(EXAFLOPS);
+    let speedup = amdahl_speedup(1e-7, nodes);
+    assert!(
+        speedup > 0.5 * nodes,
+        "docking-style scaling holds at {nodes:.0} nodes"
+    );
+}

@@ -1,0 +1,186 @@
+//! Property-based tests (proptest) on the core invariants:
+//! parser/printer round trips, semantic preservation of weaver
+//! transforms, design-space enumeration, quantization monotonicity, and
+//! event-queue ordering.
+
+use antarex::ir::interp::{ExecEnv, Interp};
+use antarex::ir::types::quantize_mantissa;
+use antarex::ir::value::Value;
+use antarex::ir::{parse_program, printer::print_program, NodePath};
+use antarex::sim::des::EventQueue;
+use antarex::tuner::knob::Knob;
+use antarex::tuner::space::DesignSpace;
+use antarex::weaver::transform::fold::fold_block;
+use antarex::weaver::transform::unroll::unroll_full;
+use proptest::prelude::*;
+
+/// Generates a random straight-line-plus-loop mini-C function source over
+/// variables `x`, `y` and accumulator `s`.
+fn arb_kernel() -> impl Strategy<Value = String> {
+    let expr = prop_oneof![
+        Just("x + y".to_string()),
+        Just("x * 2 - y".to_string()),
+        Just("x * x + 3".to_string()),
+        Just("(x - y) * (x + y)".to_string()),
+        Just("x % (y + 107)".to_string()), // y in -50..50: never zero
+    ];
+    let trip = 0usize..20;
+    let threshold = -20i64..20;
+    (expr, trip, threshold).prop_map(|(e, trip, threshold)| {
+        format!(
+            "int f(int x, int y) {{
+                 int s = 0;
+                 for (int i = 0; i < {trip}; i++) {{ s += i + x; }}
+                 if (x > {threshold}) {{ s += {e}; }} else {{ s -= {e}; }}
+                 return s;
+             }}"
+        )
+    })
+}
+
+fn run_f(src_or_prog: &antarex::ir::Program, x: i64, y: i64) -> Value {
+    Interp::new(src_or_prog.clone())
+        .call("f", &[Value::Int(x), Value::Int(y)], &mut ExecEnv::new())
+        .expect("execution succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print(parse(print(p))) == print(p): printing is a fixed point.
+    #[test]
+    fn printer_parser_round_trip(src in arb_kernel()) {
+        let program = parse_program(&src).unwrap();
+        let once = print_program(&program);
+        let reparsed = parse_program(&once).unwrap();
+        prop_assert_eq!(&program, &reparsed);
+        prop_assert_eq!(once, print_program(&reparsed));
+    }
+
+    /// Constant folding never changes results.
+    #[test]
+    fn folding_preserves_semantics(src in arb_kernel(), x in -50i64..50, y in -50i64..50) {
+        let program = parse_program(&src).unwrap();
+        let mut folded = program.clone();
+        folded.edit_function("f", |f| f.body = fold_block(&f.body)).unwrap();
+        prop_assert_eq!(run_f(&program, x, y), run_f(&folded, x, y));
+    }
+
+    /// Full unrolling never changes results and removes the loop.
+    #[test]
+    fn unrolling_preserves_semantics(src in arb_kernel(), x in -50i64..50, y in -50i64..50) {
+        let program = parse_program(&src).unwrap();
+        let mut unrolled = program.clone();
+        unrolled
+            .edit_function("f", |f| {
+                unroll_full(&mut f.body, &NodePath::root(1)).unwrap();
+            })
+            .unwrap();
+        prop_assert!(antarex::ir::analysis::loops(
+            &unrolled.function("f").unwrap().body).is_empty());
+        prop_assert_eq!(run_f(&program, x, y), run_f(&unrolled, x, y));
+    }
+
+    /// Quantization: idempotent, magnitude-bounded, monotone in bits.
+    #[test]
+    fn quantization_properties(x in -1e12f64..1e12, bits in 1u8..=52) {
+        let q = quantize_mantissa(x, bits);
+        // idempotent
+        prop_assert_eq!(quantize_mantissa(q, bits), q);
+        // relative error bounded by one ulp at that width
+        let err = (q - x).abs();
+        let bound = x.abs() * 2.0f64.powi(-(i32::from(bits))) + f64::MIN_POSITIVE;
+        prop_assert!(err <= bound, "err {} > bound {}", err, bound);
+        // more bits never increase the error
+        if bits < 52 {
+            let finer = quantize_mantissa(x, bits + 1);
+            prop_assert!((finer - x).abs() <= err + f64::EPSILON * x.abs());
+        }
+    }
+
+    /// Design-space enumeration: size matches, configs are distinct and
+    /// admissible, and config_at agrees with iteration order.
+    #[test]
+    fn design_space_enumeration(
+        a_hi in 1i64..6,
+        step in 1i64..3,
+        levels in 1usize..4,
+    ) {
+        let space = DesignSpace::new(vec![
+            Knob::int("a", 0, a_hi, step),
+            Knob::choice("v", (0..levels).map(|i| format!("c{i}"))),
+        ]);
+        let all: Vec<_> = space.iter().collect();
+        prop_assert_eq!(all.len() as u128, space.size());
+        for (i, config) in all.iter().enumerate() {
+            prop_assert!(space.contains(config));
+            prop_assert_eq!(config, &space.config_at(i as u128));
+        }
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+
+    /// Event queue: pops are globally time-ordered and FIFO within ties.
+    #[test]
+    fn event_queue_ordering(times in proptest::collection::vec(0u32..100, 1..40)) {
+        let mut queue = EventQueue::new();
+        for (seq, t) in times.iter().enumerate() {
+            queue.schedule(f64::from(*t), seq);
+        }
+        let mut last: (f64, usize) = (-1.0, 0);
+        while let Some((t, seq)) = queue.pop() {
+            prop_assert!(t >= last.0);
+            if t == last.0 {
+                prop_assert!(seq > last.1, "FIFO violated at t={}", t);
+            }
+            last = (t, seq);
+        }
+    }
+
+    /// SLA violation accounting: rate is consistent with direct counting.
+    #[test]
+    fn sla_counting(values in proptest::collection::vec(0.0f64..2.0, 1..50)) {
+        let mut sla = antarex::monitor::Sla::upper_bound("m", 1.0);
+        let mut manual = 0u64;
+        for (i, v) in values.iter().enumerate() {
+            if !sla.check(i as f64, *v) {
+                manual += 1;
+            }
+        }
+        prop_assert_eq!(sla.report().violations, manual);
+        prop_assert_eq!(sla.report().checked, values.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The mini-C parser returns errors, never panics, on arbitrary input.
+    #[test]
+    fn mini_c_parser_never_panics(input in "[ -~\\n]{0,200}") {
+        let _ = parse_program(&input);
+        let _ = antarex::ir::parse_expr(&input);
+        let _ = antarex::ir::parse_stmts(&input);
+    }
+
+    /// The DSL front end returns errors, never panics, on arbitrary input.
+    #[test]
+    fn dsl_parser_never_panics(input in "[ -~\\n]{0,200}") {
+        let _ = antarex::dsl::parse_aspects(&input);
+    }
+
+    /// Near-miss aspect sources (mutations of a valid one) never panic.
+    #[test]
+    fn dsl_parser_survives_mutations(cut in 0usize..200, insert in "[ -~]{0,5}") {
+        let base = antarex::dsl::figures::FIG4_SPECIALIZE_KERNEL;
+        let cut = cut.min(base.len());
+        // splice garbage at a UTF-8 safe position
+        let mut pos = cut;
+        while !base.is_char_boundary(pos) { pos -= 1; }
+        let mutated = format!("{}{}{}", &base[..pos], insert, &base[pos..]);
+        let _ = antarex::dsl::parse_aspects(&mutated);
+    }
+}

@@ -1,0 +1,247 @@
+//! Integration: the two use cases end to end (experiments U1, U2).
+
+use antarex::apps::docking::{generate_library, generate_pocket, DockingCampaign, Ligand};
+use antarex::apps::nav::{NavigationServer, RoadNetwork, TrafficModel};
+use antarex::monitor::Sla;
+use antarex::rtrm::dispatch::{run_task_pool, DispatchStrategy};
+use antarex::sim::node::{Node, NodeSpec};
+use antarex::sim::workload::{exponential, rush_hour_profile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// U1 — §VII-a: dynamic load balancing and heterogeneity-aware placement
+/// fix the imbalance of the docking sweep.
+#[test]
+fn u1_docking_dispatch_strategies_rank_correctly() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let pocket = generate_pocket(30, &mut rng);
+    let mut library = generate_library(400, 24, &mut rng);
+    library.sort_by_key(Ligand::size); // catalog order
+    let campaign = DockingCampaign::new(library, pocket, 128, 5);
+    let tasks = campaign.as_tasks();
+
+    let pool = || -> Vec<Node> {
+        (0..6)
+            .map(|i| {
+                if i < 2 {
+                    Node::nominal(NodeSpec::cineca_accelerated(), i)
+                } else {
+                    Node::nominal(NodeSpec::cineca_xeon(), i)
+                }
+            })
+            .collect()
+    };
+
+    let mut nodes = pool();
+    let static_run = run_task_pool(&mut nodes, &tasks, DispatchStrategy::StaticPartition);
+    let mut nodes = pool();
+    let dynamic_run = run_task_pool(&mut nodes, &tasks, DispatchStrategy::DynamicGreedy);
+    let mut nodes = pool();
+    let aware_run = run_task_pool(&mut nodes, &tasks, DispatchStrategy::HeterogeneityAware);
+
+    // the paper's ordering: static worst, dynamic better, hetero-aware best
+    assert!(
+        dynamic_run.makespan_s < static_run.makespan_s,
+        "dynamic {} !< static {}",
+        dynamic_run.makespan_s,
+        static_run.makespan_s
+    );
+    assert!(
+        aware_run.makespan_s <= dynamic_run.makespan_s * 1.05,
+        "aware {} vs dynamic {}",
+        aware_run.makespan_s,
+        dynamic_run.makespan_s
+    );
+    // dynamic balances the devices
+    assert!(dynamic_run.imbalance() < static_run.imbalance());
+    // every strategy did all the work
+    for outcome in [&static_run, &dynamic_run, &aware_run] {
+        assert_eq!(outcome.device_tasks.iter().sum::<usize>(), tasks.len());
+    }
+}
+
+/// U1 quality: the screening itself produces stable hits regardless of
+/// where it was scheduled (scheduling must not change science).
+#[test]
+fn u1_docking_results_are_schedule_independent() {
+    let mut rng = StdRng::seed_from_u64(32);
+    let pocket = generate_pocket(20, &mut rng);
+    let library = generate_library(80, 20, &mut rng);
+    let campaign = DockingCampaign::new(library, pocket, 16, 3);
+    let hits_a = campaign.run().top_hits(10);
+    let hits_b = campaign.run().top_hits(10);
+    assert_eq!(hits_a, hits_b);
+}
+
+/// U2 — §VII-b: the adaptive navigation server holds its latency SLA
+/// through rush hour at a fraction of the violations of the fixed server,
+/// while recovering quality off-peak.
+#[test]
+fn u2_adaptive_navigation_beats_fixed_quality_under_load() {
+    let run_day = |adaptive: bool| -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(33);
+        let network = RoadNetwork::city_grid(12, &mut rng);
+        let traffic = TrafficModel::weekday();
+        let mut server = NavigationServer::new(network, traffic, 1);
+        server.set_alternatives(8);
+        let mut sla = Sla::upper_bound("latency", 0.5);
+        let mut quality = 0.0;
+        let mut served = 0u64;
+        let mut time = 6.0 * 3600.0;
+        while time < 10.0 * 3600.0 {
+            let rate = 0.35 * rush_hour_profile(time, 6.0);
+            let gap = exponential(&mut rng, rate);
+            server.drain(gap);
+            time += gap;
+            let outcome = server.serve(time, &mut rng);
+            sla.check(time, outcome.latency_s);
+            quality += outcome.alternatives as f64;
+            served += 1;
+            if adaptive && served % 20 == 0 {
+                let recent = sla
+                    .history()
+                    .window_since(time - 300.0)
+                    .iter()
+                    .map(|s| s.value)
+                    .fold(0.0, f64::max);
+                let k = server.alternatives();
+                if recent > 0.4 && k > 1 {
+                    server.set_alternatives(k - 1);
+                } else if recent < 0.15 && k < 8 {
+                    server.set_alternatives(k + 1);
+                }
+            }
+        }
+        (sla.report().violation_rate(), quality / served as f64)
+    };
+
+    let (fixed_violations, fixed_quality) = run_day(false);
+    let (adaptive_violations, adaptive_quality) = run_day(true);
+    assert!(
+        adaptive_violations < fixed_violations * 0.7,
+        "adaptive {adaptive_violations:.3} vs fixed {fixed_violations:.3}"
+    );
+    // quality was genuinely traded, not free
+    assert!(adaptive_quality < fixed_quality);
+    assert!(adaptive_quality > 1.0, "some quality retained");
+}
+
+/// U2 infrastructure: routes reflect live traffic.
+#[test]
+fn u2_planner_reacts_to_congestion() {
+    let mut rng = StdRng::seed_from_u64(34);
+    let network = RoadNetwork::city_grid(14, &mut rng);
+    let traffic = TrafficModel::weekday();
+    use antarex::apps::nav::shortest_path;
+    let origin = 0;
+    let dest = network.len() - 1;
+    let night = shortest_path(&network, &traffic, origin, dest, 3.0 * 3600.0, true).unwrap();
+    let rush = shortest_path(&network, &traffic, origin, dest, 8.0 * 3600.0, true).unwrap();
+    assert!(rush.travel_time_s > night.travel_time_s);
+}
+
+/// U1 + mARGOt data features: the best `poses` knob depends on molecule
+/// size, and the feature-aware manager picks accordingly.
+#[test]
+fn u1_feature_aware_pose_selection() {
+    use antarex::tuner::features::FeatureManager;
+    use antarex::tuner::goal::{Constraint, Objective};
+    use antarex::tuner::{Configuration, KnobValue, KnowledgeBase, OperatingPoint};
+
+    let mut rng = StdRng::seed_from_u64(40);
+    let pocket = generate_pocket(25, &mut rng);
+    let library = generate_library(120, 24, &mut rng);
+
+    // split the library by size; measure quality of few vs many poses
+    // per size class against a high-pose reference
+    let mut manager = FeatureManager::new(Objective::minimize("work"), 1);
+    manager.add_constraint(Constraint::at_least("quality", 0.4));
+    for (lo, hi) in [(0usize, 22usize), (22, usize::MAX)] {
+        let class: Vec<Ligand> = library
+            .iter()
+            .filter(|l| l.size() >= lo && l.size() < hi)
+            .cloned()
+            .collect();
+        let mean_size = class.iter().map(Ligand::size).sum::<usize>() as f64 / class.len() as f64;
+        let reference = DockingCampaign::new(class.clone(), pocket.clone(), 96, 9).run();
+        let mut kb = KnowledgeBase::new();
+        for poses in [4usize, 16, 48] {
+            let result = DockingCampaign::new(class.clone(), pocket.clone(), poses, 9).run();
+            let mut config = Configuration::new();
+            config.set("poses", KnobValue::Int(poses as i64));
+            kb.push(OperatingPoint::new(
+                config,
+                [
+                    ("work".to_string(), result.total_interactions as f64),
+                    ("quality".to_string(), result.hit_overlap(&reference, 12)),
+                ],
+            ));
+        }
+        manager.add_cluster(vec![mean_size], kb);
+    }
+
+    // selection is input-dependent and feasible for both classes
+    let (small_cfg, small_cluster) = manager.select(&[15.0]).expect("feasible");
+    let (large_cfg, large_cluster) = manager.select(&[60.0]).expect("feasible");
+    assert_ne!(small_cluster, large_cluster);
+    assert!(small_cfg.get_int("poses").unwrap() >= 4);
+    assert!(large_cfg.get_int("poses").unwrap() >= 4);
+}
+
+/// U2 recovery: after the rush subsides, the adaptive server climbs back
+/// toward full quality (the "restore at night" half of the story).
+#[test]
+fn u2_quality_recovers_off_peak() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let network = RoadNetwork::city_grid(10, &mut rng);
+    let mut server = NavigationServer::new(network, TrafficModel::weekday(), 1);
+    server.set_alternatives(8);
+    let mut sla = Sla::upper_bound("latency", 0.5);
+
+    let mut run_window = |server: &mut NavigationServer,
+                          start_h: f64,
+                          end_h: f64,
+                          rate: f64,
+                          rng: &mut StdRng,
+                          sla: &mut Sla| {
+        let mut time = start_h * 3600.0;
+        let mut served = 0u64;
+        while time < end_h * 3600.0 {
+            let gap = exponential(rng, rate);
+            server.drain(gap);
+            time += gap;
+            let outcome = server.serve(time, rng);
+            sla.check(time, outcome.latency_s);
+            served += 1;
+            if served % 10 == 0 {
+                let recent = sla
+                    .history()
+                    .window_since(time - 300.0)
+                    .iter()
+                    .map(|s| s.value)
+                    .fold(0.0, f64::max);
+                let k = server.alternatives();
+                if recent > 0.4 && k > 1 {
+                    server.set_alternatives(k - 1);
+                } else if recent < 0.15 && k < 8 {
+                    server.set_alternatives(k + 1);
+                }
+            }
+        }
+    };
+
+    // heavy window: the controller sheds quality
+    run_window(&mut server, 8.0, 9.0, 2.5, &mut rng, &mut sla);
+    let rush_quality = server.alternatives();
+    assert!(
+        rush_quality < 8,
+        "rush must shed quality, at k={rush_quality}"
+    );
+    // quiet window: it climbs back
+    run_window(&mut server, 22.0, 23.5, 0.1, &mut rng, &mut sla);
+    let night_quality = server.alternatives();
+    assert!(
+        night_quality > rush_quality,
+        "quality must recover off-peak: rush {rush_quality} -> night {night_quality}"
+    );
+}
