@@ -34,8 +34,8 @@ impl Ligand {
         let n = self.atoms.len().max(1) as f64;
         let mut c = [0.0; 3];
         for atom in &self.atoms {
-            for k in 0..3 {
-                c[k] += atom.pos[k] / n;
+            for (axis, coord) in c.iter_mut().enumerate() {
+                *coord += atom.pos[axis] / n;
             }
         }
         c

@@ -1,19 +1,19 @@
-//! Host-parallel docking: real threads, real work stealing.
+//! Host-parallel docking: real threads, dynamic self-scheduling.
 //!
 //! The dispatch experiments (U1) study load balancing on the *simulated*
 //! cluster; this module demonstrates the same principle on the host
 //! machine: the campaign's ligands are scored on worker threads pulling
-//! from a shared [`crossbeam::deque::Injector`], so a thread that drew
-//! small molecules immediately steals the next task instead of idling —
+//! from a shared atomic work counter, so a thread that drew small
+//! molecules immediately claims the next task instead of idling —
 //! dynamic self-scheduling in the flesh.
 
 use super::molecule::{Ligand, Pocket};
 use super::pipeline::DockingResult;
 use super::scoring::dock_ligand;
-use crossbeam::deque::{Injector, Steal};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Scores `library` against `pocket` on `workers` threads with dynamic
 /// self-scheduling. Results are identical to the sequential
@@ -32,31 +32,26 @@ pub fn run_parallel(
 ) -> DockingResult {
     assert!(workers > 0, "need at least one worker");
     assert!(poses > 0, "need at least one pose");
-    let injector: Injector<&Ligand> = Injector::new();
-    for ligand in library {
-        injector.push(ligand);
-    }
+    let cursor = AtomicUsize::new(0);
     let results = Mutex::new(Vec::with_capacity(library.len()));
-    let total = Mutex::new(0u64);
+    let total = AtomicU64::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let ligand = match injector.steal() {
-                    Steal::Success(l) => l,
-                    Steal::Empty => break,
-                    Steal::Retry => continue,
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(ligand) = library.get(idx) else {
+                    break;
                 };
                 let mut rng = StdRng::seed_from_u64(seed ^ (ligand.id.wrapping_mul(0x9e37_79b9)));
                 let score = dock_ligand(ligand, pocket, poses, &mut rng);
-                *total.lock() += score.interactions;
-                results.lock().push(score);
+                total.fetch_add(score.interactions, Ordering::Relaxed);
+                results.lock().expect("no poisoned workers").push(score);
             });
         }
-    })
-    .expect("worker threads must not panic");
+    });
 
-    let mut scores = results.into_inner();
+    let mut scores = results.into_inner().expect("no poisoned workers");
     scores.sort_by_key(|s| s.ligand_id);
     DockingResult {
         scores,

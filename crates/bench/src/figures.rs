@@ -157,7 +157,7 @@ pub fn f4_dynamic_specialization() -> String {
         let after = runtime.version_count("kernel");
         let action = if after > before {
             "specialize"
-        } else if stats.loop_iters == 0 && size >= 4 && size <= 64 {
+        } else if stats.loop_iters == 0 && (4..=64).contains(&size) {
             "cache hit"
         } else {
             "generic"

@@ -26,10 +26,12 @@
 //! | a4 | §V     | thermal-aware vs oblivious operation (ablation) |
 //! | a5 | §V     | energy-aware co-scheduling under a power cap |
 //! | a6 | §V     | FIFO vs EASY backfilling, replayed with energy |
+//! | r1 | —      | fault campaign: checkpoint/restart, sensor loss, safe mode |
 
 pub mod ablations;
 pub mod claims;
 pub mod figures;
+pub mod resiliency;
 pub mod use_cases;
 
 /// One registered experiment.
@@ -125,6 +127,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "§V — energy-aware co-scheduling under a facility power cap (SuperMUC-style)",
             run: ablations::a5_energy_aware_scheduling,
         },
+        Experiment {
+            id: "r1",
+            title: "fault campaign — checkpoint/restart, sensor-loss control, CADA safe mode",
+            run: resiliency::r1_fault_campaign,
+        },
     ]
 }
 
@@ -158,7 +165,7 @@ mod tests {
                 assert_ne!(a.id, b.id);
             }
         }
-        assert_eq!(experiments.len(), 16);
+        assert_eq!(experiments.len(), 17);
     }
 
     #[test]

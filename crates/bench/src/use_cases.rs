@@ -86,7 +86,7 @@ pub fn navigation_day(adaptive: bool, seed: u64, hours: f64) -> (Sla, f64, u64) 
         sla.check(time, outcome.latency_s);
         quality += outcome.alternatives as f64;
         served += 1;
-        if adaptive && served % 20 == 0 {
+        if adaptive && served.is_multiple_of(20) {
             let recent = sla
                 .history()
                 .window_since(time - 300.0)

@@ -250,7 +250,7 @@ mod tests {
             }),
         );
         let buf = Value::from(vec![1.0; 16]);
-        runtime.call("sumsq16", &[buf.clone()]).unwrap();
+        runtime.call("sumsq16", std::slice::from_ref(&buf)).unwrap();
         runtime.call("sumsq16", &[buf]).unwrap();
         assert!(runtime.total_stats().flops >= 64);
         assert_eq!(*calls.borrow(), 0, "aspect matched nothing: no probes");

@@ -1,0 +1,279 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness.
+//!
+//! The build environment has no route to crates.io, so the workspace
+//! vendors the small slice of criterion's API that the bench targets
+//! under `crates/bench/benches/` actually use: [`Criterion`],
+//! [`Bencher::iter`], benchmark groups with [`BenchmarkId`] parameters,
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Statistics are deliberately simple — each benchmark is
+//! warmed up, then timed over a batch sized to a fixed measurement
+//! budget, and the mean and best per-iteration times are printed. No
+//! HTML reports, no outlier analysis; enough to compare mechanism
+//! costs between commits.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Per-benchmark timing driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    measurement: Option<Measurement>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    iterations: u64,
+    total: Duration,
+    best: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, choosing an iteration count to fill the
+    /// measurement budget.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // warm-up and calibration: run until ~25 ms have elapsed
+        let warmup_budget = Duration::from_millis(25);
+        let warmup_start = Instant::now();
+        let mut calibration_iters: u64 = 0;
+        while warmup_start.elapsed() < warmup_budget {
+            black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed() / calibration_iters.max(1) as u32;
+        // measurement: batches totalling ~100 ms, at least 3 batches
+        let measure_budget = Duration::from_millis(100);
+        let batch = ((measure_budget.as_nanos() / 3).max(1) / per_iter.as_nanos().max(1))
+            .clamp(1, u128::from(u32::MAX)) as u64;
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        let mut iterations = 0u64;
+        while total < measure_budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            iterations += batch;
+            best = best.min(elapsed / batch.max(1) as u32);
+        }
+        self.measurement = Some(Measurement {
+            iterations,
+            total,
+            best,
+        });
+    }
+
+    /// Times `routine`, rebuilding its input with `setup` before each
+    /// call; only the routine is on the clock.
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        // setup runs off the clock, so measure call-by-call rather
+        // than in batches
+        let warmup_budget = Duration::from_millis(25);
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < warmup_budget {
+            black_box(routine(setup()));
+        }
+        let measure_budget = Duration::from_millis(100);
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        let mut iterations = 0u64;
+        while total < measure_budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            total += elapsed;
+            iterations += 1;
+            best = best.min(elapsed);
+        }
+        self.measurement = Some(Measurement {
+            iterations,
+            total,
+            best,
+        });
+    }
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering just the parameter value, as criterion does.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// A `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The benchmark runner.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { measurement: None };
+    f(&mut bencher);
+    match bencher.measurement {
+        Some(m) => {
+            let mean = m.total / m.iterations.max(1) as u32;
+            println!(
+                "{label:<45} mean {:>12} best {:>12} ({} iters)",
+                format_duration(mean),
+                format_duration(m.best),
+                m.iterations
+            );
+        }
+        None => println!("{label:<45} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} us", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, f);
+        self
+    }
+
+    /// Runs one benchmark of the group with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `fn main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_function(BenchmarkId::from_parameter(8), |b| b.iter(|| black_box(8)));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3, |b, &v| {
+            b.iter(|| black_box(v))
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
+    }
+}

@@ -152,11 +152,8 @@ fn match_plan(
     ]);
     match &call_link.filter {
         None => {}
-        Some(Filter::Name(name)) => {
-            if name != callee {
-                return Ok(None);
-            }
-        }
+        Some(Filter::Name(name)) if name != callee => return Ok(None),
+        Some(Filter::Name(_)) => {}
         Some(Filter::Expr(expr)) => {
             let probe = plan.env.with_candidate(fcall.clone());
             if !eval(expr, &probe)?.truthy() {

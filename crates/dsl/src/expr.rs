@@ -150,7 +150,9 @@ fn binary(op: DBinOp, l: &DslValue, r: &DslValue) -> Result<DslValue, DslError> 
             Le => Ok(DslValue::Bool(a <= b)),
             Gt => Ok(DslValue::Bool(a > b)),
             Ge => Ok(DslValue::Bool(a >= b)),
-            _ => Err(DslError::Eval(format!("operator not defined on strings"))),
+            _ => Err(DslError::Eval(
+                "operator not defined on strings".to_string(),
+            )),
         };
     }
     // Null poisons ordering comparisons to false, arithmetic to Null

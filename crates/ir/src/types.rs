@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn quantize_f32_matches_hardware_float() {
-        for x in [0.1, -3.14159, 12345.6789, 1e-7, 2.5e10] {
+        for x in [0.1, -std::f64::consts::PI, 12345.6789, 1e-7, 2.5e10] {
             assert_eq!(Type::F32.quantize(x), f64::from(x as f32));
         }
     }

@@ -115,9 +115,9 @@ mod tests {
     #[test]
     fn upward_shift_detected_promptly() {
         let mut detector = PageHinkley::new(0.05, 5.0);
-        let before = std::iter::repeat(10.0f64).take(100);
+        let before = std::iter::repeat_n(10.0f64, 100);
         assert_eq!(feed(&mut detector, before), None);
-        let after = std::iter::repeat(13.0f64).take(100);
+        let after = std::iter::repeat_n(13.0f64, 100);
         let hit = feed(&mut detector, after).expect("shift detected");
         assert!(hit < 20, "detected after {hit} samples");
         assert_eq!(detector.detections(), 1);
@@ -126,22 +126,19 @@ mod tests {
     #[test]
     fn downward_shift_detected_too() {
         let mut detector = PageHinkley::new(0.05, 5.0);
-        feed(&mut detector, std::iter::repeat(20.0f64).take(100));
-        let hit = feed(&mut detector, std::iter::repeat(16.0f64).take(100));
+        feed(&mut detector, std::iter::repeat_n(20.0f64, 100));
+        let hit = feed(&mut detector, std::iter::repeat_n(16.0f64, 100));
         assert!(hit.is_some());
     }
 
     #[test]
     fn detector_rearms_after_detection() {
         let mut detector = PageHinkley::new(0.05, 5.0);
-        feed(&mut detector, std::iter::repeat(10.0f64).take(50));
-        assert!(feed(&mut detector, std::iter::repeat(14.0f64).take(50)).is_some());
+        feed(&mut detector, std::iter::repeat_n(10.0f64, 50));
+        assert!(feed(&mut detector, std::iter::repeat_n(14.0f64, 50)).is_some());
         // settles in the new regime, then detects the next change
-        assert_eq!(
-            feed(&mut detector, std::iter::repeat(14.0f64).take(100)),
-            None
-        );
-        assert!(feed(&mut detector, std::iter::repeat(10.0f64).take(50)).is_some());
+        assert_eq!(feed(&mut detector, std::iter::repeat_n(14.0f64, 100)), None);
+        assert!(feed(&mut detector, std::iter::repeat_n(10.0f64, 50)).is_some());
         assert_eq!(detector.detections(), 2);
     }
 
@@ -149,11 +146,8 @@ mod tests {
     fn slack_suppresses_small_changes() {
         // delta larger than the shift: no detection
         let mut tolerant = PageHinkley::new(2.0, 5.0);
-        feed(&mut tolerant, std::iter::repeat(10.0f64).take(100));
-        assert_eq!(
-            feed(&mut tolerant, std::iter::repeat(10.5f64).take(200)),
-            None
-        );
+        feed(&mut tolerant, std::iter::repeat_n(10.0f64, 100));
+        assert_eq!(feed(&mut tolerant, std::iter::repeat_n(10.5f64, 200)), None);
     }
 
     #[test]

@@ -34,10 +34,12 @@
 
 pub mod cada;
 pub mod drift;
+pub mod resilient;
 pub mod sensor;
 pub mod series;
 pub mod sla;
 
+pub use resilient::{Estimate, Fill, ResilientSensor};
 pub use sensor::{Sensor, SensorRegistry};
 pub use series::TimeSeries;
 pub use sla::{Sla, SlaKind, SlaReport};

@@ -6,9 +6,9 @@
 //! through a shared [`SensorRegistry`].
 
 use crate::series::TimeSeries;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A single named measurement stream.
 #[derive(Debug)]
@@ -76,7 +76,7 @@ impl SensorRegistry {
 
     /// Records a measurement, creating the sensor on first use.
     pub fn record(&self, name: &str, unit: &'static str, time: f64, value: f64) {
-        let mut sensors = self.inner.lock();
+        let mut sensors = self.inner.lock().expect("sensor registry lock poisoned");
         sensors
             .entry(name.to_string())
             .or_insert_with(|| Sensor::new(name, unit))
@@ -87,6 +87,7 @@ impl SensorRegistry {
     pub fn last(&self, name: &str) -> Option<f64> {
         self.inner
             .lock()
+            .expect("sensor registry lock poisoned")
             .get(name)?
             .series()
             .last()
@@ -95,38 +96,64 @@ impl SensorRegistry {
 
     /// Mean over the sensor's retained window.
     pub fn mean(&self, name: &str) -> Option<f64> {
-        self.inner.lock().get(name)?.series().mean()
+        self.inner
+            .lock()
+            .expect("sensor registry lock poisoned")
+            .get(name)?
+            .series()
+            .mean()
     }
 
     /// Quantile over the sensor's retained window.
     pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
-        self.inner.lock().get(name)?.series().quantile(q)
+        self.inner
+            .lock()
+            .expect("sensor registry lock poisoned")
+            .get(name)?
+            .series()
+            .quantile(q)
     }
 
     /// EWMA of the sensor.
     pub fn ewma(&self, name: &str) -> Option<f64> {
-        self.inner.lock().get(name)?.series().ewma()
+        self.inner
+            .lock()
+            .expect("sensor registry lock poisoned")
+            .get(name)?
+            .series()
+            .ewma()
     }
 
     /// Applies `f` to the sensor's series, returning its result.
     pub fn with_series<R>(&self, name: &str, f: impl FnOnce(&TimeSeries) -> R) -> Option<R> {
-        let sensors = self.inner.lock();
+        let sensors = self.inner.lock().expect("sensor registry lock poisoned");
         sensors.get(name).map(|s| f(s.series()))
     }
 
     /// Names of all registered sensors, sorted.
     pub fn names(&self) -> Vec<String> {
-        self.inner.lock().keys().cloned().collect()
+        self.inner
+            .lock()
+            .expect("sensor registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Number of registered sensors.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner
+            .lock()
+            .expect("sensor registry lock poisoned")
+            .len()
     }
 
     /// Returns `true` if no sensors are registered.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner
+            .lock()
+            .expect("sensor registry lock poisoned")
+            .is_empty()
     }
 }
 

@@ -134,16 +134,26 @@ impl TimeSeries {
     /// The `q`-quantile (0 ≤ q ≤ 1) of retained values, by the
     /// nearest-rank method. `q = 0.5` is the median, `q = 0.95` the p95.
     ///
+    /// Non-finite samples (NaN from a dead sensor, ±∞ from a division
+    /// gone wrong upstream) are excluded from the ranking rather than
+    /// poisoning it; the result is `None` when no finite sample
+    /// remains.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        if self.samples.is_empty() {
+        let mut values: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|s| s.value)
+            .filter(|v| v.is_finite())
+            .collect();
+        if values.is_empty() {
             return None;
         }
-        let mut values: Vec<f64> = self.samples.iter().map(|s| s.value).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        values.sort_by(f64::total_cmp);
         let rank = ((values.len() as f64) * q).ceil() as usize;
         Some(values[rank.saturating_sub(1).min(values.len() - 1)])
     }
@@ -258,6 +268,15 @@ mod tests {
         assert_eq!(s.quantile(0.0), Some(1.0));
         assert_eq!(s.quantile(1.0), Some(5.0));
         assert_eq!(s.quantile(0.95), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_ignores_non_finite_samples() {
+        let s = series(&[5.0, f64::NAN, 1.0, f64::INFINITY, 3.0]);
+        assert_eq!(s.quantile(0.5), Some(3.0));
+        assert_eq!(s.quantile(1.0), Some(5.0));
+        let all_bad = series(&[f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(all_bad.quantile(0.5), None);
     }
 
     #[test]

@@ -24,8 +24,11 @@
 //!   throttling plus the MS3-style "do less when it's too hot" admission
 //!   policy;
 //! * [`hierarchy`] — the multi-layer control loop composing cluster power
-//!   budgeting, job-level managers and node governors.
+//!   budgeting, job-level managers and node governors;
+//! * [`checkpoint`] — coordinated checkpoint/restart with a tunable
+//!   interval (Daly-optimal baseline) for the resiliency experiments.
 
+pub mod checkpoint;
 pub mod dispatch;
 pub mod energy_sched;
 pub mod governor;

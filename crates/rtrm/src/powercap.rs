@@ -74,16 +74,53 @@ impl PowerCapper {
 }
 
 /// Splits a cluster budget uniformly across `nodes` nodes.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero; use [`try_uniform_split`] when the alive
+/// set may be empty (e.g. every node crashed).
 pub fn uniform_split(budget_w: f64, nodes: usize) -> Vec<f64> {
-    assert!(nodes > 0, "no nodes to budget");
-    vec![budget_w / nodes as f64; nodes]
+    try_uniform_split(budget_w, nodes).expect("no nodes to budget")
+}
+
+/// [`uniform_split`] that returns `None` instead of panicking when
+/// `nodes` is zero — the case a fault-ridden cluster actually hits when
+/// every node is down and there is nobody to give the budget to.
+pub fn try_uniform_split(budget_w: f64, nodes: usize) -> Option<Vec<f64>> {
+    if nodes == 0 {
+        return None;
+    }
+    Some(vec![budget_w / nodes as f64; nodes])
 }
 
 /// Splits a cluster budget proportionally to per-node demand weights
 /// (e.g. queued work); weights of zero receive an idle floor of 5% of the
 /// uniform share.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty; use [`try_weighted_split`] when the
+/// alive set may be empty.
 pub fn weighted_split(budget_w: f64, weights: &[f64]) -> Vec<f64> {
-    assert!(!weights.is_empty(), "no nodes to budget");
+    try_weighted_split(budget_w, weights).expect("no nodes to budget")
+}
+
+/// [`weighted_split`] that returns `None` instead of panicking on an
+/// empty weight list. Non-finite weights (a NaN utilization from a dead
+/// sensor) are treated as zero demand rather than poisoning every
+/// node's share.
+pub fn try_weighted_split(budget_w: f64, weights: &[f64]) -> Option<Vec<f64>> {
+    if weights.is_empty() {
+        return None;
+    }
+    let weights: Vec<f64> = weights
+        .iter()
+        .map(|w| if w.is_finite() && *w > 0.0 { *w } else { 0.0 })
+        .collect();
+    Some(weighted_split_clean(budget_w, &weights))
+}
+
+fn weighted_split_clean(budget_w: f64, weights: &[f64]) -> Vec<f64> {
     let floor = 0.05 * budget_w / weights.len() as f64;
     let reserve = floor * weights.len() as f64;
     let remaining = (budget_w - reserve).max(0.0);
@@ -174,6 +211,22 @@ mod tests {
     fn weighted_split_with_all_zero_weights_is_uniform() {
         let split = weighted_split(400.0, &[0.0, 0.0]);
         assert_eq!(split, vec![200.0, 200.0]);
+    }
+
+    #[test]
+    fn try_splits_survive_an_empty_cluster() {
+        assert_eq!(try_uniform_split(1000.0, 0), None);
+        assert_eq!(try_weighted_split(1000.0, &[]), None);
+        assert_eq!(try_uniform_split(1000.0, 2), Some(vec![500.0, 500.0]));
+    }
+
+    #[test]
+    fn nan_weights_do_not_poison_the_split() {
+        let split = try_weighted_split(1000.0, &[f64::NAN, 1.0]).expect("two nodes");
+        assert!(split.iter().all(|w| w.is_finite()), "{split:?}");
+        let total: f64 = split.iter().sum();
+        assert!((total - 1000.0).abs() < 1e-9);
+        assert!(split[1] > split[0], "the NaN node gets only the floor");
     }
 
     #[test]

@@ -7,10 +7,8 @@
 //! devices: peak FLOP/s, memory bandwidth, TDP, plus an offload
 //! efficiency capturing kernel-launch and PCIe overheads.
 
-use serde::{Deserialize, Serialize};
-
 /// The accelerator family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AcceleratorKind {
     /// A discrete GPU (Kepler/Tesla class in the paper's timeframe).
     Gpgpu,
@@ -19,7 +17,7 @@ pub enum AcceleratorKind {
 }
 
 /// Specification of one accelerator card.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AcceleratorSpec {
     /// Family.
     pub kind: AcceleratorKind,

@@ -9,10 +9,8 @@
 //! performance degrades as the condenser-side (ambient) temperature
 //! rises.
 
-use serde::{Deserialize, Serialize};
-
 /// Cooling-plant parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoolingPlant {
     /// Ambient temperature below which free cooling covers the full load.
     pub free_cooling_limit_c: f64,

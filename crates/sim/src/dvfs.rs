@@ -7,10 +7,8 @@
 //! ≈ f³ while compute-bound runtime shrinks ≈ 1/f — the tension that
 //! creates a non-trivial energy-optimal frequency.
 
-use serde::{Deserialize, Serialize};
-
 /// One performance state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PState {
     /// Core frequency in GHz.
     pub freq_ghz: f64,
@@ -19,7 +17,7 @@ pub struct PState {
 }
 
 /// An ordered table of P-states, slowest first.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PStateTable {
     states: Vec<PState>,
 }

@@ -1,0 +1,805 @@
+//! Deterministic, seed-driven fault injection for the simulated platform.
+//!
+//! Exascale machines fail constantly: the mean time between failures
+//! shrinks as the node count grows, sensors drop out or freeze, power
+//! rails glitch, interconnects degrade, and "gray" nodes silently run
+//! slow. This module pre-computes a complete, reproducible
+//! [`FaultSchedule`] for a simulated run — Weibull-distributed node
+//! crashes with repair, transient sensor dropouts and stuck-at readings,
+//! power-rail spikes, interconnect degradation windows, and slow-node
+//! gray failures — so that every layer above the simulator (governors,
+//! power capping, checkpointing schedulers, the CADA loop, the nav
+//! server) can be exercised under realistic disturbance.
+//!
+//! Design rules:
+//!
+//! * **Deterministic.** The schedule is a pure function of
+//!   ([`FaultConfig`], node count, horizon). Identical seeds yield
+//!   byte-identical schedules, forever.
+//! * **Pure.** The injector never touches simulator state. It answers
+//!   point-in-time queries ([`FaultSchedule::node_alive`],
+//!   [`FaultSchedule::sensor_effect`], ...) and leaves the response to
+//!   the consuming layer — the injector cannot know what a "stuck"
+//!   sensor last read, so it reports *that* a sensor froze and since
+//!   when, and the monitor holds the value.
+//! * **Zero means zero.** A rate of 0 (or [`FaultConfig::none`])
+//!   produces an empty schedule, and every query returns the fault-free
+//!   answer, so fault-rate-0 experiments are bit-identical to runs that
+//!   never imported this module.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Tunable fault model for one simulated run.
+///
+/// All rates are per-node unless stated otherwise; a rate (or MTBF) of
+/// zero disables that fault class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the fault stream (independent of the workload seed).
+    pub seed: u64,
+    /// Mean time between crashes per node, seconds. 0 disables crashes.
+    pub node_mtbf_s: f64,
+    /// Weibull shape `k` for crash inter-arrival times. `k = 1` is the
+    /// classic exponential/Poisson model; `k < 1` captures infant
+    /// mortality, `k > 1` wear-out.
+    pub weibull_shape: f64,
+    /// Downtime after a crash before the node rejoins, seconds.
+    pub repair_time_s: f64,
+    /// Mean time between sensor dropouts per node, seconds. 0 disables.
+    pub sensor_mtbf_s: f64,
+    /// Duration of one sensor fault, seconds.
+    pub sensor_outage_s: f64,
+    /// Probability a sensor fault manifests as a stuck-at (frozen)
+    /// reading rather than a missing one.
+    pub stuck_fraction: f64,
+    /// Mean time between power-rail spikes per node, seconds. 0 disables.
+    pub power_spike_mtbf_s: f64,
+    /// Extra draw during a spike, watts.
+    pub power_spike_w: f64,
+    /// Spike duration, seconds.
+    pub power_spike_s: f64,
+    /// Mean time between interconnect degradation windows (whole
+    /// cluster), seconds. 0 disables.
+    pub link_mtbf_s: f64,
+    /// Bandwidth multiplier while degraded (e.g. 0.25 = quarter speed).
+    pub link_factor: f64,
+    /// Degradation window duration, seconds.
+    pub link_outage_s: f64,
+    /// Mean time between gray failures (slow node, no crash) per node,
+    /// seconds. 0 disables.
+    pub gray_mtbf_s: f64,
+    /// Execution slowdown while gray (e.g. 2.0 = half speed).
+    pub gray_slowdown: f64,
+    /// Gray episode duration, seconds.
+    pub gray_duration_s: f64,
+}
+
+impl FaultConfig {
+    /// A fault-free configuration: every class disabled.
+    pub fn none(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            node_mtbf_s: 0.0,
+            weibull_shape: 1.0,
+            repair_time_s: 120.0,
+            sensor_mtbf_s: 0.0,
+            sensor_outage_s: 30.0,
+            stuck_fraction: 0.3,
+            power_spike_mtbf_s: 0.0,
+            power_spike_w: 60.0,
+            power_spike_s: 5.0,
+            link_mtbf_s: 0.0,
+            link_factor: 0.25,
+            link_outage_s: 60.0,
+            gray_mtbf_s: 0.0,
+            gray_slowdown: 2.0,
+            gray_duration_s: 300.0,
+        }
+    }
+
+    /// A representative harsh-exascale profile with every fault class
+    /// enabled, scaled by `rate`: `rate = 1` gives node crashes every
+    /// ~6 h, sensor faults hourly, and occasional rail/link/gray events;
+    /// `rate = 2` doubles every event frequency; `rate = 0` disables
+    /// everything (equivalent to [`FaultConfig::none`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or not finite.
+    pub fn exascale(seed: u64, rate: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite(), "rate must be finite, >= 0");
+        let mtbf = |base_s: f64| if rate == 0.0 { 0.0 } else { base_s / rate };
+        FaultConfig {
+            seed,
+            node_mtbf_s: mtbf(6.0 * 3600.0),
+            weibull_shape: 0.7, // infant mortality dominates in practice
+            repair_time_s: 120.0,
+            sensor_mtbf_s: mtbf(3600.0),
+            sensor_outage_s: 30.0,
+            stuck_fraction: 0.3,
+            power_spike_mtbf_s: mtbf(2.0 * 3600.0),
+            power_spike_w: 60.0,
+            power_spike_s: 5.0,
+            link_mtbf_s: mtbf(4.0 * 3600.0),
+            link_factor: 0.25,
+            link_outage_s: 60.0,
+            gray_mtbf_s: mtbf(8.0 * 3600.0),
+            gray_slowdown: 2.0,
+            gray_duration_s: 300.0,
+        }
+    }
+}
+
+/// One class of injected fault, with its effect window where relevant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The node dies, losing in-flight (uncheckpointed) work.
+    NodeCrash {
+        /// Crashed node id.
+        node: usize,
+    },
+    /// The node rejoins after repair.
+    NodeRepair {
+        /// Repaired node id.
+        node: usize,
+    },
+    /// The node's thermal/power sensor returns nothing until `until_s`.
+    SensorDropout {
+        /// Affected node id.
+        node: usize,
+        /// End of the outage, seconds.
+        until_s: f64,
+    },
+    /// The node's sensor freezes at its last reading until `until_s`.
+    SensorStuck {
+        /// Affected node id.
+        node: usize,
+        /// End of the stuck window, seconds.
+        until_s: f64,
+    },
+    /// The node draws `extra_w` additional watts until `until_s`.
+    PowerSpike {
+        /// Affected node id.
+        node: usize,
+        /// Additional draw, watts.
+        extra_w: f64,
+        /// End of the spike, seconds.
+        until_s: f64,
+    },
+    /// Cluster interconnect bandwidth is multiplied by `factor` until
+    /// `until_s`.
+    LinkDegraded {
+        /// Bandwidth multiplier in `(0, 1]`.
+        factor: f64,
+        /// End of the degradation, seconds.
+        until_s: f64,
+    },
+    /// The node silently runs `slowdown`× slower until `until_s`.
+    GraySlowdown {
+        /// Affected node id.
+        node: usize,
+        /// Execution-time multiplier, > 1.
+        slowdown: f64,
+        /// End of the episode, seconds.
+        until_s: f64,
+    },
+}
+
+impl FaultKind {
+    fn label(&self) -> &'static str {
+        match self {
+            FaultKind::NodeCrash { .. } => "crash",
+            FaultKind::NodeRepair { .. } => "repair",
+            FaultKind::SensorDropout { .. } => "sensor-dropout",
+            FaultKind::SensorStuck { .. } => "sensor-stuck",
+            FaultKind::PowerSpike { .. } => "power-spike",
+            FaultKind::LinkDegraded { .. } => "link-degraded",
+            FaultKind::GraySlowdown { .. } => "gray-slowdown",
+        }
+    }
+}
+
+/// A timestamped fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Injection time, seconds.
+    pub time_s: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// What a consumer should expect from a sensor at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorEffect {
+    /// The sensor reads normally.
+    Ok,
+    /// The sensor returns nothing (reading is missing).
+    Dropped,
+    /// The sensor repeats whatever it last read at `since_s`; the
+    /// monitor owns that value, the injector only reports the freeze.
+    StuckSince(f64),
+}
+
+/// The complete, immutable fault timeline of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    nodes: usize,
+    horizon_s: f64,
+}
+
+impl FaultSchedule {
+    /// Generates the schedule for `nodes` nodes over `[0, horizon_s)`.
+    ///
+    /// Deterministic: the same (`config`, `nodes`, `horizon_s`) triple
+    /// always produces the identical event list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_s` is not positive and finite, or if the config
+    /// contains non-finite rates.
+    pub fn generate(config: &FaultConfig, nodes: usize, horizon_s: f64) -> Self {
+        assert!(
+            horizon_s > 0.0 && horizon_s.is_finite(),
+            "horizon must be positive and finite"
+        );
+        let mut events: Vec<FaultEvent> = Vec::new();
+
+        // Each (fault class, node) pair draws from its own SplitMix-derived
+        // stream so adding a class or a node never perturbs the others.
+        let stream = |class: u64, node: u64| -> StdRng {
+            StdRng::seed_from_u64(
+                config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(class.wrapping_mul(0x2545_F491_4F6C_DD1D))
+                    .wrapping_add(node),
+            )
+        };
+
+        for node in 0..nodes {
+            // crashes: Weibull renewal process with repair downtime
+            if config.node_mtbf_s > 0.0 {
+                let mut rng = stream(1, node as u64);
+                let scale = weibull_scale(config.node_mtbf_s, config.weibull_shape);
+                let mut t = 0.0;
+                loop {
+                    t += weibull_sample(&mut rng, config.weibull_shape, scale);
+                    if t >= horizon_s {
+                        break;
+                    }
+                    events.push(FaultEvent {
+                        time_s: t,
+                        kind: FaultKind::NodeCrash { node },
+                    });
+                    t += config.repair_time_s;
+                    if t >= horizon_s {
+                        break;
+                    }
+                    events.push(FaultEvent {
+                        time_s: t,
+                        kind: FaultKind::NodeRepair { node },
+                    });
+                }
+            }
+
+            // sensor faults: Poisson arrivals, dropout or stuck-at
+            if config.sensor_mtbf_s > 0.0 {
+                let mut rng = stream(2, node as u64);
+                let mut t = 0.0;
+                loop {
+                    t += exponential_sample(&mut rng, config.sensor_mtbf_s);
+                    if t >= horizon_s {
+                        break;
+                    }
+                    let until_s = t + config.sensor_outage_s;
+                    let kind = if rng.gen_bool(config.stuck_fraction) {
+                        FaultKind::SensorStuck { node, until_s }
+                    } else {
+                        FaultKind::SensorDropout { node, until_s }
+                    };
+                    events.push(FaultEvent { time_s: t, kind });
+                    t = until_s;
+                }
+            }
+
+            // power-rail spikes
+            if config.power_spike_mtbf_s > 0.0 {
+                let mut rng = stream(3, node as u64);
+                let mut t = 0.0;
+                loop {
+                    t += exponential_sample(&mut rng, config.power_spike_mtbf_s);
+                    if t >= horizon_s {
+                        break;
+                    }
+                    events.push(FaultEvent {
+                        time_s: t,
+                        kind: FaultKind::PowerSpike {
+                            node,
+                            extra_w: config.power_spike_w,
+                            until_s: t + config.power_spike_s,
+                        },
+                    });
+                    t += config.power_spike_s;
+                }
+            }
+
+            // gray failures
+            if config.gray_mtbf_s > 0.0 {
+                let mut rng = stream(4, node as u64);
+                let mut t = 0.0;
+                loop {
+                    t += exponential_sample(&mut rng, config.gray_mtbf_s);
+                    if t >= horizon_s {
+                        break;
+                    }
+                    events.push(FaultEvent {
+                        time_s: t,
+                        kind: FaultKind::GraySlowdown {
+                            node,
+                            slowdown: config.gray_slowdown,
+                            until_s: t + config.gray_duration_s,
+                        },
+                    });
+                    t += config.gray_duration_s;
+                }
+            }
+        }
+
+        // interconnect: one cluster-wide stream
+        if config.link_mtbf_s > 0.0 {
+            let mut rng = stream(5, 0);
+            let mut t = 0.0;
+            loop {
+                t += exponential_sample(&mut rng, config.link_mtbf_s);
+                if t >= horizon_s {
+                    break;
+                }
+                events.push(FaultEvent {
+                    time_s: t,
+                    kind: FaultKind::LinkDegraded {
+                        factor: config.link_factor,
+                        until_s: t + config.link_outage_s,
+                    },
+                });
+                t += config.link_outage_s;
+            }
+        }
+
+        // deterministic global order: time, then node, then class label
+        events.sort_by(|a, b| {
+            a.time_s
+                .total_cmp(&b.time_s)
+                .then_with(|| event_node(a).cmp(&event_node(b)))
+                .then_with(|| a.kind.label().cmp(b.kind.label()))
+        });
+
+        FaultSchedule {
+            events,
+            nodes,
+            horizon_s,
+        }
+    }
+
+    /// All events, time-ordered.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no faults were scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Node count the schedule was generated for.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Horizon the schedule covers, seconds.
+    pub fn horizon_s(&self) -> f64 {
+        self.horizon_s
+    }
+
+    /// Is `node` up at time `t` (not between a crash and its repair)?
+    pub fn node_alive(&self, node: usize, t: f64) -> bool {
+        let mut alive = true;
+        for event in &self.events {
+            if event.time_s > t {
+                break;
+            }
+            match event.kind {
+                FaultKind::NodeCrash { node: n } if n == node => alive = false,
+                FaultKind::NodeRepair { node: n } if n == node => alive = true,
+                _ => {}
+            }
+        }
+        alive
+    }
+
+    /// Crash times of `node` within `[from_s, to_s)`.
+    pub fn crashes_between(&self, node: usize, from_s: f64, to_s: f64) -> Vec<f64> {
+        self.events
+            .iter()
+            .filter(|e| e.time_s >= from_s && e.time_s < to_s)
+            .filter_map(|e| match e.kind {
+                FaultKind::NodeCrash { node: n } if n == node => Some(e.time_s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Crash times of any node within `[from_s, to_s)` — the events a
+    /// coordinated (all-nodes) checkpoint scheme must survive.
+    pub fn any_crash_between(&self, from_s: f64, to_s: f64) -> Vec<f64> {
+        self.events
+            .iter()
+            .filter(|e| e.time_s >= from_s && e.time_s < to_s)
+            .filter_map(|e| match e.kind {
+                FaultKind::NodeCrash { .. } => Some(e.time_s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// What the sensor of `node` does at time `t`.
+    pub fn sensor_effect(&self, node: usize, t: f64) -> SensorEffect {
+        // last wins when windows overlap (later fault supersedes)
+        let mut effect = SensorEffect::Ok;
+        for event in &self.events {
+            if event.time_s > t {
+                break;
+            }
+            match event.kind {
+                FaultKind::SensorDropout { node: n, until_s } if n == node && t < until_s => {
+                    effect = SensorEffect::Dropped;
+                }
+                FaultKind::SensorStuck { node: n, until_s } if n == node && t < until_s => {
+                    effect = SensorEffect::StuckSince(event.time_s);
+                }
+                _ => {}
+            }
+        }
+        effect
+    }
+
+    /// Extra power drawn by `node` at time `t` from active rail spikes,
+    /// watts.
+    pub fn power_extra_w(&self, node: usize, t: f64) -> f64 {
+        self.events
+            .iter()
+            .take_while(|e| e.time_s <= t)
+            .filter_map(|e| match e.kind {
+                FaultKind::PowerSpike {
+                    node: n,
+                    extra_w,
+                    until_s,
+                } if n == node && t < until_s => Some(extra_w),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Interconnect bandwidth multiplier at time `t` (1.0 = healthy).
+    pub fn link_factor(&self, t: f64) -> f64 {
+        self.events
+            .iter()
+            .take_while(|e| e.time_s <= t)
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkDegraded { factor, until_s } if t < until_s => Some(factor),
+                _ => None,
+            })
+            .fold(1.0, f64::min)
+    }
+
+    /// Execution slowdown of `node` at time `t` (1.0 = full speed).
+    pub fn slowdown(&self, node: usize, t: f64) -> f64 {
+        self.events
+            .iter()
+            .take_while(|e| e.time_s <= t)
+            .filter_map(|e| match e.kind {
+                FaultKind::GraySlowdown {
+                    node: n,
+                    slowdown,
+                    until_s,
+                } if n == node && t < until_s => Some(slowdown),
+                _ => None,
+            })
+            .fold(1.0, f64::max)
+    }
+
+    /// Stable 64-bit digest of the full schedule (FNV-1a over the event
+    /// encoding). Two schedules are byte-identical iff digests and
+    /// [`FaultSchedule::summary`] strings match — the determinism tests
+    /// and the campaign reports both rely on this.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for event in &self.events {
+            eat(&event.time_s.to_bits().to_le_bytes());
+            eat(event.kind.label().as_bytes());
+            eat(&(event_node(event).unwrap_or(usize::MAX) as u64).to_le_bytes());
+        }
+        hash
+    }
+
+    /// Per-class event counts, deterministically formatted.
+    pub fn summary(&self) -> String {
+        let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+        for event in &self.events {
+            *counts.entry(event.kind.label()).or_default() += 1;
+        }
+        if counts.is_empty() {
+            return "no faults".to_string();
+        }
+        counts
+            .iter()
+            .map(|(label, count)| format!("{label}={count}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} faults over {:.0} s on {} nodes ({})",
+            self.len(),
+            self.horizon_s,
+            self.nodes,
+            self.summary()
+        )
+    }
+}
+
+fn event_node(event: &FaultEvent) -> Option<usize> {
+    match event.kind {
+        FaultKind::NodeCrash { node }
+        | FaultKind::NodeRepair { node }
+        | FaultKind::SensorDropout { node, .. }
+        | FaultKind::SensorStuck { node, .. }
+        | FaultKind::PowerSpike { node, .. }
+        | FaultKind::GraySlowdown { node, .. } => Some(node),
+        FaultKind::LinkDegraded { .. } => None,
+    }
+}
+
+/// Draws an exponential inter-arrival time with the given mean.
+fn exponential_sample(rng: &mut impl Rng, mean_s: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean_s * u.ln()
+}
+
+/// Draws a Weibull(k, λ) sample by inversion.
+fn weibull_sample(rng: &mut impl Rng, shape: f64, scale: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    scale * (-u.ln()).powf(1.0 / shape)
+}
+
+/// Scale λ such that a Weibull(k, λ) has the requested mean:
+/// mean = λ·Γ(1 + 1/k).
+fn weibull_scale(mean_s: f64, shape: f64) -> f64 {
+    assert!(shape > 0.0, "Weibull shape must be positive");
+    mean_s / gamma(1.0 + 1.0 / shape)
+}
+
+/// Lanczos approximation of Γ(x) for x > 0 (plenty for shape factors).
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    // published g=7, n=9 Lanczos coefficients, kept verbatim
+    #[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection: Γ(x)Γ(1-x) = π / sin(πx)
+        return std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x));
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harsh(seed: u64) -> FaultSchedule {
+        FaultSchedule::generate(&FaultConfig::exascale(seed, 4.0), 8, 24.0 * 3600.0)
+    }
+
+    #[test]
+    fn same_seed_identical_schedule() {
+        let a = harsh(99);
+        let b = harsh(99);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(harsh(1).digest(), harsh(2).digest());
+    }
+
+    #[test]
+    fn zero_rate_is_fault_free() {
+        let schedule = FaultSchedule::generate(&FaultConfig::none(5), 16, 3600.0);
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.summary(), "no faults");
+        assert!(schedule.node_alive(3, 1800.0));
+        assert_eq!(schedule.sensor_effect(3, 1800.0), SensorEffect::Ok);
+        assert_eq!(schedule.power_extra_w(3, 1800.0), 0.0);
+        assert_eq!(schedule.link_factor(1800.0), 1.0);
+        assert_eq!(schedule.slowdown(3, 1800.0), 1.0);
+        let rate0 = FaultSchedule::generate(&FaultConfig::exascale(5, 0.0), 16, 3600.0);
+        assert!(rate0.is_empty(), "rate 0 == disabled");
+    }
+
+    #[test]
+    fn events_time_ordered() {
+        let schedule = harsh(7);
+        assert!(!schedule.is_empty(), "harsh profile must produce faults");
+        for pair in schedule.events().windows(2) {
+            assert!(pair[0].time_s <= pair[1].time_s);
+        }
+    }
+
+    #[test]
+    fn crash_repair_alternate_per_node() {
+        let schedule = harsh(11);
+        for node in 0..schedule.nodes() {
+            let mut expect_crash = true;
+            for event in schedule.events() {
+                match event.kind {
+                    FaultKind::NodeCrash { node: n } if n == node => {
+                        assert!(expect_crash, "two crashes without repair on {node}");
+                        expect_crash = false;
+                    }
+                    FaultKind::NodeRepair { node: n } if n == node => {
+                        assert!(!expect_crash, "repair without crash on {node}");
+                        expect_crash = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_alive_tracks_crash_windows() {
+        let schedule = harsh(13);
+        let crash = schedule
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                FaultKind::NodeCrash { node } => Some((e.time_s, node)),
+                _ => None,
+            })
+            .expect("harsh profile crashes");
+        let (t, node) = crash;
+        assert!(schedule.node_alive(node, t - 1.0));
+        assert!(!schedule.node_alive(node, t + 1.0));
+        // after repair (120 s) the node is back, unless it crashed again
+        let after = t + 121.0;
+        if schedule.crashes_between(node, t + 1.0, after).is_empty() {
+            assert!(schedule.node_alive(node, after));
+        }
+    }
+
+    #[test]
+    fn sensor_effects_cover_windows() {
+        let schedule = harsh(17);
+        let mut saw_drop = false;
+        let mut saw_stuck = false;
+        for event in schedule.events() {
+            match event.kind {
+                FaultKind::SensorDropout { node, until_s } => {
+                    saw_drop = true;
+                    let mid = (event.time_s + until_s) / 2.0;
+                    assert_eq!(schedule.sensor_effect(node, mid), SensorEffect::Dropped);
+                    assert_eq!(
+                        schedule.sensor_effect(node, until_s + 1e-6),
+                        schedule.sensor_effect(node, until_s + 1e-6),
+                    );
+                }
+                FaultKind::SensorStuck { node, until_s } => {
+                    saw_stuck = true;
+                    let mid = (event.time_s + until_s) / 2.0;
+                    assert_eq!(
+                        schedule.sensor_effect(node, mid),
+                        SensorEffect::StuckSince(event.time_s)
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_drop && saw_stuck, "both sensor modes exercised");
+    }
+
+    #[test]
+    fn spikes_links_and_gray_report_effects() {
+        let schedule = harsh(19);
+        let spike = schedule
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                FaultKind::PowerSpike { node, extra_w, .. } => Some((e.time_s, node, extra_w)),
+                _ => None,
+            })
+            .expect("spikes scheduled");
+        assert_eq!(schedule.power_extra_w(spike.1, spike.0 + 1.0), spike.2);
+        let link = schedule
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                FaultKind::LinkDegraded { factor, .. } => Some((e.time_s, factor)),
+                _ => None,
+            })
+            .expect("link events scheduled");
+        assert_eq!(schedule.link_factor(link.0 + 1.0), link.1);
+        let gray = schedule
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                FaultKind::GraySlowdown { node, slowdown, .. } => Some((e.time_s, node, slowdown)),
+                _ => None,
+            })
+            .expect("gray events scheduled");
+        assert_eq!(schedule.slowdown(gray.1, gray.0 + 1.0), gray.2);
+    }
+
+    #[test]
+    fn mtbf_roughly_respected_for_exponential_shape() {
+        let mut config = FaultConfig::none(23);
+        config.node_mtbf_s = 1000.0;
+        config.weibull_shape = 1.0;
+        config.repair_time_s = 0.0;
+        let horizon = 2_000_000.0;
+        let schedule = FaultSchedule::generate(&config, 1, horizon);
+        let crashes = schedule.any_crash_between(0.0, horizon).len() as f64;
+        let expected = horizon / 1000.0;
+        assert!(
+            (crashes - expected).abs() < expected * 0.1,
+            "observed {crashes} crashes, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn gamma_sanity() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-9);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-9);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-6);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_rejected() {
+        let _ = FaultSchedule::generate(&FaultConfig::none(1), 4, 0.0);
+    }
+}

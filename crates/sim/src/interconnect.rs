@@ -6,10 +6,8 @@
 //! (experiment C5). The model is the classical α-β (latency-bandwidth)
 //! one, with log-tree collectives.
 
-use serde::{Deserialize, Serialize};
-
 /// An α-β interconnect.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interconnect {
     /// Per-message latency (α), seconds.
     pub latency_s: f64,

@@ -1,9 +1,7 @@
 //! Work units, tasks and jobs.
 
-use serde::{Deserialize, Serialize};
-
 /// A quantity of work characterized by its roofline demands.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkUnit {
     /// Floating-point operations to perform.
     pub flops: f64,
@@ -73,7 +71,7 @@ impl std::ops::Add for WorkUnit {
 }
 
 /// One schedulable task (e.g. a single ligand docking).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Task {
     /// Task identifier.
     pub id: u64,
@@ -82,7 +80,7 @@ pub struct Task {
 }
 
 /// A batch job as submitted to the cluster scheduler.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Job {
     /// Job identifier.
     pub id: u64,

@@ -23,7 +23,10 @@
 //! * [`cluster`] — racks of nodes with facility-level energy accounting;
 //! * [`job`] / [`workload`] — tasks, jobs and the workload generators used
 //!   by the use cases (including the heavy-tailed docking sweep);
-//! * [`metrics`] — FLOPS/W and energy bookkeeping.
+//! * [`metrics`] — FLOPS/W and energy bookkeeping;
+//! * [`faults`] — deterministic fault injection (node crashes, sensor
+//!   dropouts/stuck-at readings, power-rail spikes, interconnect
+//!   degradation, gray slowdowns) for the resiliency experiments.
 //!
 //! All stochastic components draw from caller-provided RNGs; the simulator
 //! is fully deterministic given a seed.
@@ -45,6 +48,7 @@ pub mod cluster;
 pub mod cooling;
 pub mod des;
 pub mod dvfs;
+pub mod faults;
 pub mod interconnect;
 pub mod job;
 pub mod metrics;

@@ -1,7 +1,5 @@
 //! Energy and efficiency bookkeeping.
 
-use serde::{Deserialize, Serialize};
-
 /// Joules per kilowatt-hour.
 pub const J_PER_KWH: f64 = 3.6e6;
 
@@ -24,7 +22,7 @@ pub fn energy_delay_product(energy_j: f64, time_s: f64) -> f64 {
 }
 
 /// An accumulating energy/work account for one experiment.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyAccount {
     /// Useful floating-point work performed.
     pub flops: f64,

@@ -15,10 +15,9 @@ use crate::job::WorkUnit;
 use crate::power::PowerParams;
 use crate::thermal::ThermalModel;
 use crate::variability::ProcessVariation;
-use serde::{Deserialize, Serialize};
 
 /// Static description of a node model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     /// Model name.
     pub name: String,

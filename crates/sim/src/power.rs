@@ -11,10 +11,9 @@
 //!   parts.
 
 use crate::dvfs::PState;
-use serde::{Deserialize, Serialize};
 
 /// Power-model parameters of one socket/node component.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerParams {
     /// Effective switched capacitance term: watts per (V² · GHz) at full
     /// activity.

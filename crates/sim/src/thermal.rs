@@ -6,10 +6,8 @@
 //! integration exact for piecewise-constant power, so long executions can
 //! be stepped coarsely without drift.
 
-use serde::{Deserialize, Serialize};
-
 /// RC thermal parameters and state of one node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalModel {
     /// Thermal resistance junction→inlet, °C per watt.
     pub resistance_c_per_w: f64,

@@ -9,10 +9,9 @@
 //! shows an energy spread of roughly 15% (validated by experiment C2).
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// The process "corner" of one chip.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProcessVariation {
     /// Multiplier on leakage power (lognormal around 1.0).
     pub leakage_factor: f64,

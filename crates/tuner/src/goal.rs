@@ -1,10 +1,9 @@
 //! Objectives and constraints over measured metrics.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Optimization direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Smaller is better.
     Minimize,
@@ -13,7 +12,7 @@ pub enum Direction {
 }
 
 /// The tuning objective: one metric plus a direction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Objective {
     metric: String,
     direction: Direction,
@@ -70,7 +69,7 @@ impl fmt::Display for Objective {
 }
 
 /// A feasibility constraint on one metric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Constraint {
     metric: String,
     bound: f64,

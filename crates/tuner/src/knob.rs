@@ -4,11 +4,10 @@
 //! knobs), *code transformations* (e.g. unroll factors — integer knobs),
 //! and *code variants* (categorical knobs naming alternative functions).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The value a knob is set to.
-#[derive(Debug, Clone, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
 pub enum KnobValue {
     /// Integer setting.
     Int(i64),
@@ -56,7 +55,7 @@ impl fmt::Display for KnobValue {
 }
 
 /// The domain of one knob.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum KnobDomain {
     /// Integers `lo..=hi` with the given step.
     Int {
@@ -77,7 +76,7 @@ pub enum KnobDomain {
 }
 
 /// A named tunable parameter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Knob {
     name: String,
     domain: KnobDomain,

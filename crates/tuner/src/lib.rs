@@ -51,6 +51,7 @@ pub mod manager;
 pub mod model;
 pub mod online;
 pub mod point;
+pub mod safemode;
 pub mod search;
 pub mod space;
 
@@ -58,4 +59,5 @@ pub use goal::{Constraint, Objective};
 pub use knob::{Knob, KnobValue};
 pub use manager::AppManager;
 pub use point::{KnowledgeBase, OperatingPoint};
+pub use safemode::{SafeModeAction, SafeModeGuard};
 pub use space::{Configuration, DesignSpace};

@@ -114,8 +114,12 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         b.swap(col, pivot);
         for row in (col + 1)..n {
             let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            // reads row `col` while mutating row `row`, so the pivot row
+            // is split off rather than indexed twice
+            let (pivot_rows, rest) = a.split_at_mut(col + 1);
+            let pivot_row = &pivot_rows[col];
+            for (k, v) in rest[row - col - 1].iter_mut().enumerate().skip(col) {
+                *v -= factor * pivot_row[k];
             }
             b[row] -= factor * b[col];
         }

@@ -7,11 +7,10 @@
 
 use crate::goal::{Constraint, Objective};
 use crate::space::Configuration;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A configuration plus its measured metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OperatingPoint {
     /// The knob settings.
     pub config: Configuration,
@@ -59,7 +58,7 @@ impl OperatingPoint {
 /// let best = kb.best(&Objective::minimize("time"), &[]).unwrap();
 /// assert_eq!(best.metric("time"), Some(2.0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KnowledgeBase {
     points: Vec<OperatingPoint>,
 }

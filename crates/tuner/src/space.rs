@@ -2,12 +2,11 @@
 
 use crate::knob::{Knob, KnobValue};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// One configuration: an assignment of a value to every knob.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Configuration {
     values: BTreeMap<String, KnobValue>,
 }
@@ -94,7 +93,7 @@ impl FromIterator<(String, KnobValue)> for Configuration {
 /// assert_eq!(space.size(), 8);
 /// assert_eq!(space.iter().count(), 8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpace {
     knobs: Vec<Knob>,
 }
@@ -384,17 +383,8 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn debug_rendering_names_knobs() {
         let s = space();
-        let json = serde_json_like(&s);
-        assert!(json.contains("unroll"));
-    }
-
-    // serde_json is not among the allowed crates; smoke-test Serialize via
-    // the debug of the serde data model using a tiny manual serializer is
-    // overkill — instead assert the derives exist by using bincode-like
-    // trait bounds.
-    fn serde_json_like<T: serde::Serialize + std::fmt::Debug>(value: &T) -> String {
-        format!("{value:?}")
+        assert!(format!("{s:?}").contains("unroll"));
     }
 }

@@ -61,7 +61,7 @@ pub fn eliminate_dead_stores(body: &mut Block) -> usize {
         }
         let dead = match stmt {
             Stmt::Decl { name, init, .. } => {
-                let pure = init.as_ref().map_or(true, |e| !has_call(e));
+                let pure = init.as_ref().is_none_or(|e| !has_call(e));
                 pure && !reads_after(&listing, i + 1).contains(name)
             }
             Stmt::Assign {

@@ -149,7 +149,7 @@ fn fold_stmt(stmt: &Stmt) -> Folded {
                 None => Folded::Stmt(Stmt::If {
                     cond,
                     then_branch: fold_block(then_branch),
-                    else_branch: else_branch.as_ref().map(|b| fold_block(b)),
+                    else_branch: else_branch.as_ref().map(fold_block),
                 }),
             }
         }

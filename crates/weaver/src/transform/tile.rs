@@ -192,7 +192,7 @@ mod tests {
         // *statically* constant by our analyser (bounds reference i_t),
         // but unrolling by the tile factor is now always exact
         assert!(matches!(&outer_body[0], Stmt::For { .. }));
-        assert_eq!(run_f(&program), Value::Int((0..32).sum::<i64>().into()));
+        assert_eq!(run_f(&program), Value::Int((0..32).sum::<i64>()));
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn simulate_day(adaptive: bool, seed: u64) -> (Sla, f64, u64) {
         quality_sum += outcome.alternatives as f64;
         served += 1;
 
-        if adaptive && served % 25 == 0 {
+        if adaptive && served.is_multiple_of(25) {
             // the CADA loop: compare recent latency to the SLA and move
             // the knob one step (decide + act)
             let recent = sla

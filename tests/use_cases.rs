@@ -97,7 +97,7 @@ fn u2_adaptive_navigation_beats_fixed_quality_under_load() {
             sla.check(time, outcome.latency_s);
             quality += outcome.alternatives as f64;
             served += 1;
-            if adaptive && served % 20 == 0 {
+            if adaptive && served.is_multiple_of(20) {
                 let recent = sla
                     .history()
                     .window_since(time - 300.0)
@@ -198,12 +198,12 @@ fn u2_quality_recovers_off_peak() {
     server.set_alternatives(8);
     let mut sla = Sla::upper_bound("latency", 0.5);
 
-    let mut run_window = |server: &mut NavigationServer,
-                          start_h: f64,
-                          end_h: f64,
-                          rate: f64,
-                          rng: &mut StdRng,
-                          sla: &mut Sla| {
+    let run_window = |server: &mut NavigationServer,
+                      start_h: f64,
+                      end_h: f64,
+                      rate: f64,
+                      rng: &mut StdRng,
+                      sla: &mut Sla| {
         let mut time = start_h * 3600.0;
         let mut served = 0u64;
         while time < end_h * 3600.0 {
@@ -213,7 +213,7 @@ fn u2_quality_recovers_off_peak() {
             let outcome = server.serve(time, rng);
             sla.check(time, outcome.latency_s);
             served += 1;
-            if served % 10 == 0 {
+            if served.is_multiple_of(10) {
                 let recent = sla
                     .history()
                     .window_since(time - 300.0)
