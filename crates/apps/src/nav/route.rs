@@ -183,21 +183,16 @@ pub fn alternative_routes(
             Some(&penalties),
         );
         let Some(route) = found else { break };
-        // penalize this route's edges for the next iteration
+        // penalize this route's edges for the next iteration and
+        // accumulate its true (unpenalized) cost in the same pass; a
+        // returned route only traverses existing edges, so a missing
+        // lookup simply contributes nothing rather than panicking
+        let mut true_cost = 0.0;
         for pair in route.nodes.windows(2) {
             if let Some(edge_index) = network.edges(pair[0]).iter().position(|e| e.to == pair[1]) {
                 penalties.push((pair[0], edge_index));
+                true_cost += edge_cost(network, traffic, pair[0], edge_index, time_of_day_s, None);
             }
-        }
-        // recompute the true (unpenalized) cost of the found path
-        let mut true_cost = 0.0;
-        for pair in route.nodes.windows(2) {
-            let edge_index = network
-                .edges(pair[0])
-                .iter()
-                .position(|e| e.to == pair[1])
-                .expect("edge exists");
-            true_cost += edge_cost(network, traffic, pair[0], edge_index, time_of_day_s, None);
         }
         let mut route = route;
         route.travel_time_s = true_cost;

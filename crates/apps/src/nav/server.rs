@@ -7,8 +7,9 @@
 //! load exceeds capacity — exactly the regime where the ANTAREX runtime
 //! must shed quality to hold the latency SLA.
 
+use super::error::NavError;
 use super::graph::RoadNetwork;
-use super::route::alternative_routes;
+use super::route::{alternative_routes, Route};
 use super::traffic::TrafficModel;
 use rand::Rng;
 
@@ -52,17 +53,22 @@ impl RetryPolicy {
         }
     }
 
-    /// Validates the policy.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `max_attempts` is zero, the backoff is negative, or
-    /// the multiplier is below 1.
-    fn validate(&self) {
-        assert!(self.max_attempts > 0, "need at least one attempt");
-        assert!(self.base_backoff_s >= 0.0, "backoff must be non-negative");
-        assert!(self.backoff_multiplier >= 1.0, "multiplier must be >= 1");
-        assert!(self.shed_backlog_s >= 0.0, "shed threshold non-negative");
+    /// Validates the policy: at least one attempt, a non-negative
+    /// backoff and shed threshold, a multiplier of at least 1.
+    pub fn try_validate(&self) -> Result<(), NavError> {
+        if self.max_attempts == 0 {
+            return Err(NavError::InvalidPolicy("need at least one attempt"));
+        }
+        if self.base_backoff_s < 0.0 {
+            return Err(NavError::InvalidPolicy("backoff must be non-negative"));
+        }
+        if self.backoff_multiplier < 1.0 {
+            return Err(NavError::InvalidPolicy("multiplier must be >= 1"));
+        }
+        if self.shed_backlog_s < 0.0 {
+            return Err(NavError::InvalidPolicy("shed threshold non-negative"));
+        }
+        Ok(())
     }
 }
 
@@ -147,11 +153,17 @@ impl NavigationServer {
         self.backlog_s = (self.backlog_s - dt).max(0.0);
     }
 
-    /// Serves one request arriving at `arrival_s` between two random
-    /// nodes, computing the configured number of alternatives and
-    /// returning the outcome. Queueing is modelled by a shared backlog:
-    /// service time adds to it, divided by the core count.
-    pub fn serve(&mut self, arrival_s: f64, rng: &mut impl Rng) -> RequestOutcome {
+    /// Draws an OD pair, plans the configured alternatives and charges
+    /// the compute to the shared backlog. Returns the drawn pair, the
+    /// routes, and the (queueing, compute) latency split.
+    fn serve_core(
+        &mut self,
+        arrival_s: f64,
+        rng: &mut impl Rng,
+    ) -> Result<(usize, usize, Vec<Route>, f64, f64), NavError> {
+        if self.network.is_empty() {
+            return Err(NavError::EmptyNetwork);
+        }
         let origin = rng.gen_range(0..self.network.len());
         let destination = rng.gen_range(0..self.network.len());
         let routes = alternative_routes(
@@ -165,17 +177,59 @@ impl NavigationServer {
         let expanded: usize = routes.iter().map(|r| r.expanded).sum();
         let compute_s = expanded as f64 / self.expansions_per_s / self.cores as f64;
         let queueing_s = self.backlog_s;
+        // the work was done even when no route came back
         self.backlog_s += compute_s;
-        let best = routes
-            .first()
-            .cloned()
-            .map(|r| r.travel_time_s)
-            .unwrap_or(f64::INFINITY);
-        RequestOutcome {
+        Ok((origin, destination, routes, queueing_s, compute_s))
+    }
+
+    /// Serves one request arriving at `arrival_s` between two random
+    /// nodes, computing the configured number of alternatives and
+    /// returning the outcome. Queueing is modelled by a shared backlog:
+    /// service time adds to it, divided by the core count.
+    ///
+    /// Degenerate inputs surface as [`NavError`] instead of a panic:
+    /// this is the entry point for the multi-tenant serving tier, where
+    /// one bad request must not take down the process.
+    pub fn try_serve(
+        &mut self,
+        arrival_s: f64,
+        rng: &mut impl Rng,
+    ) -> Result<RequestOutcome, NavError> {
+        let (origin, destination, routes, queueing_s, compute_s) =
+            self.serve_core(arrival_s, rng)?;
+        let Some(first) = routes.first() else {
+            return Err(NavError::NoRoute {
+                origin,
+                destination,
+            });
+        };
+        Ok(RequestOutcome {
             arrival_s,
             latency_s: queueing_s + compute_s,
-            best_travel_time_s: best,
+            best_travel_time_s: first.travel_time_s,
             alternatives: routes.len(),
+        })
+    }
+
+    /// Panicking convenience wrapper over the same planning path as
+    /// [`NavigationServer::try_serve`]; an unreachable destination is
+    /// reported as an infinite best travel time rather than an error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the network is empty.
+    pub fn serve(&mut self, arrival_s: f64, rng: &mut impl Rng) -> RequestOutcome {
+        match self.serve_core(arrival_s, rng) {
+            Ok((_, _, routes, queueing_s, compute_s)) => RequestOutcome {
+                arrival_s,
+                latency_s: queueing_s + compute_s,
+                best_travel_time_s: routes
+                    .first()
+                    .map(|r| r.travel_time_s)
+                    .unwrap_or(f64::INFINITY),
+                alternatives: routes.len(),
+            },
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -192,22 +246,20 @@ impl NavigationServer {
     /// fault-free path draws the same RNG stream and runs the same
     /// planner.
     ///
-    /// # Panics
-    ///
-    /// Panics if `failure_prob` is outside `[0, 1]` or the policy is
-    /// invalid.
-    pub fn serve_resilient(
+    /// Result-based variant of [`NavigationServer::serve_resilient`]:
+    /// an out-of-range `failure_prob`, a malformed policy, or a
+    /// degenerate network come back as [`NavError`] values.
+    pub fn try_serve_resilient(
         &mut self,
         arrival_s: f64,
         rng: &mut impl Rng,
         failure_prob: f64,
         policy: RetryPolicy,
-    ) -> ResilientOutcome {
-        assert!(
-            (0.0..=1.0).contains(&failure_prob),
-            "failure probability must be in [0, 1]"
-        );
-        policy.validate();
+    ) -> Result<ResilientOutcome, NavError> {
+        if !(0.0..=1.0).contains(&failure_prob) {
+            return Err(NavError::InvalidFailureProbability(failure_prob));
+        }
+        policy.try_validate()?;
         let shed = self.backlog_s > policy.shed_backlog_s && self.alternatives > 1;
         let saved_alternatives = self.alternatives;
         if shed {
@@ -227,7 +279,14 @@ impl NavigationServer {
             // draw the failure AFTER computing, as a real backend
             // would: the work is done, then the reply is lost
             let backlog_before = self.backlog_s;
-            let mut outcome = self.serve(arrival_s, rng);
+            let served = self.try_serve(arrival_s, rng);
+            let mut outcome = match served {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    self.alternatives = saved_alternatives;
+                    return Err(e);
+                }
+            };
             let compute_s = self.backlog_s - backlog_before;
             let failed = failure_prob > 0.0 && rng.gen_bool(failure_prob);
             if !failed {
@@ -245,7 +304,25 @@ impl NavigationServer {
         }
         self.alternatives = saved_alternatives;
         result.wasted_compute_s = wasted_compute_s;
-        result
+        Ok(result)
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `failure_prob` is outside `[0, 1]`, the policy is
+    /// invalid, or the network is degenerate — the conditions
+    /// [`NavigationServer::try_serve_resilient`] reports as errors.
+    pub fn serve_resilient(
+        &mut self,
+        arrival_s: f64,
+        rng: &mut impl Rng,
+        failure_prob: f64,
+        policy: RetryPolicy,
+    ) -> ResilientOutcome {
+        match self.try_serve_resilient(arrival_s, rng, failure_prob, policy) {
+            Ok(result) => result,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Route-quality proxy of the current knob setting: the expected
@@ -442,6 +519,49 @@ mod tests {
         assert_eq!(r.outcome.expect("served").alternatives, 1);
         // the quality knob is restored afterwards
         assert_eq!(s.alternatives(), 6);
+    }
+
+    #[test]
+    fn try_serve_matches_serve() {
+        let mut plain = server();
+        let mut fallible = server();
+        let mut rng_a = StdRng::seed_from_u64(40);
+        let mut rng_b = StdRng::seed_from_u64(40);
+        for i in 0..10 {
+            let t = 7.0 * 3600.0 + f64::from(i);
+            let a = plain.serve(t, &mut rng_a);
+            let b = fallible
+                .try_serve(t, &mut rng_b)
+                .expect("grid is connected");
+            assert_eq!(a, b, "request {i} diverged");
+        }
+        assert_eq!(plain.backlog_s(), fallible.backlog_s());
+    }
+
+    #[test]
+    fn bad_probability_is_a_typed_error() {
+        let mut s = server();
+        let mut rng = StdRng::seed_from_u64(35);
+        let err = s
+            .try_serve_resilient(0.0, &mut rng, -0.5, RetryPolicy::standard())
+            .unwrap_err();
+        assert_eq!(err, NavError::InvalidFailureProbability(-0.5));
+    }
+
+    #[test]
+    fn bad_policy_is_a_typed_error() {
+        let mut s = server();
+        let mut rng = StdRng::seed_from_u64(36);
+        let policy = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::standard()
+        };
+        let err = s
+            .try_serve_resilient(0.0, &mut rng, 0.0, policy)
+            .unwrap_err();
+        assert_eq!(err, NavError::InvalidPolicy("need at least one attempt"));
+        // errors leave the quality knob untouched
+        assert_eq!(s.alternatives(), 4);
     }
 
     #[test]

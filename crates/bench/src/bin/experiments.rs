@@ -5,10 +5,15 @@
 //! ```text
 //! cargo run -p antarex-bench --bin experiments            # all experiments
 //! cargo run -p antarex-bench --bin experiments -- --only c3 u1
+//! cargo run -p antarex-bench --bin experiments -- --jobs 4
 //! cargo run -p antarex-bench --bin experiments -- --list
 //! ```
+//!
+//! `--jobs N` runs experiments on N worker threads; each report renders
+//! into its own buffer and the merged output is printed in registry
+//! order, byte-identical to a serial run.
 
-use antarex_bench::{all_experiments, run_selected};
+use antarex_bench::{all_experiments, run_selected_jobs};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,5 +31,15 @@ fn main() {
             .collect(),
         None => Vec::new(),
     };
-    print!("{}", run_selected(&only));
+    let jobs = match args.iter().position(|a| a == "--jobs") {
+        Some(pos) => match args.get(pos + 1).map(|a| a.parse::<usize>()) {
+            Some(Ok(n)) if n > 0 => n,
+            _ => {
+                eprintln!("--jobs expects a positive integer");
+                std::process::exit(2);
+            }
+        },
+        None => 1,
+    };
+    print!("{}", run_selected_jobs(&only, jobs));
 }

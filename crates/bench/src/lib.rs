@@ -27,11 +27,16 @@
 //! | a5 | §V     | energy-aware co-scheduling under a power cap |
 //! | a6 | §V     | FIFO vs EASY backfilling, replayed with energy |
 //! | r1 | —      | fault campaign: checkpoint/restart, sensor loss, safe mode |
+//! | s1 | §II    | autotuning-as-a-service: multi-tenant scaling, pool speedup, memoization |
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 pub mod ablations;
 pub mod claims;
 pub mod figures;
 pub mod resiliency;
+pub mod serve_exp;
 pub mod use_cases;
 
 /// One registered experiment.
@@ -132,22 +137,65 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "fault campaign — checkpoint/restart, sensor-loss control, CADA safe mode",
             run: resiliency::r1_fault_campaign,
         },
+        Experiment {
+            id: "s1",
+            title: "autotuning as a service — multi-tenant scaling, pool speedup, memoization",
+            run: serve_exp::s1_service_scaling,
+        },
     ]
 }
 
 /// Runs experiments by id (all when `only` is empty), rendering a full
 /// report.
 pub fn run_selected(only: &[String]) -> String {
-    let mut out = String::new();
-    for experiment in all_experiments() {
-        if !only.is_empty() && !only.iter().any(|o| o == experiment.id) {
-            continue;
+    run_selected_jobs(only, 1)
+}
+
+/// Runs experiments by id (all when `only` is empty) on `jobs` worker
+/// threads.
+///
+/// Each experiment renders into its own buffer; the merged report is
+/// emitted in registry order, so the output is identical to the serial
+/// [`run_selected`] no matter how the workers interleave.
+///
+/// # Panics
+///
+/// Panics when `jobs` is zero.
+pub fn run_selected_jobs(only: &[String], jobs: usize) -> String {
+    assert!(jobs > 0, "at least one job is required");
+    let selected: Vec<Experiment> = all_experiments()
+        .into_iter()
+        .filter(|e| only.is_empty() || only.iter().any(|o| o == e.id))
+        .collect();
+    let reports: Vec<Mutex<Option<String>>> = selected.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(selected.len()) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(experiment) = selected.get(index) else {
+                    break;
+                };
+                let body = (experiment.run)();
+                match reports[index].lock() {
+                    Ok(mut slot) => *slot = Some(body),
+                    Err(poisoned) => *poisoned.into_inner() = Some(body),
+                }
+            });
         }
+    });
+    let mut out = String::new();
+    for (experiment, report) in selected.iter().zip(&reports) {
+        let body = match report.lock() {
+            Ok(mut slot) => slot.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        }
+        .unwrap_or_default();
         out.push_str(&format!(
             "==============================================================\n[{}] {}\n==============================================================\n",
             experiment.id, experiment.title
         ));
-        out.push_str(&(experiment.run)());
+        out.push_str(&body);
         out.push('\n');
     }
     out
@@ -165,7 +213,7 @@ mod tests {
                 assert_ne!(a.id, b.id);
             }
         }
-        assert_eq!(experiments.len(), 17);
+        assert_eq!(experiments.len(), 18);
     }
 
     #[test]
@@ -173,5 +221,17 @@ mod tests {
         let report = run_selected(&["c4".to_string()]);
         assert!(report.contains("[c4]"));
         assert!(!report.contains("[c1]"));
+    }
+
+    #[test]
+    fn parallel_jobs_match_serial_output() {
+        let only = vec!["c4".to_string(), "c5".to_string()];
+        assert_eq!(run_selected_jobs(&only, 3), run_selected(&only));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_jobs_rejected() {
+        let _ = run_selected_jobs(&[], 0);
     }
 }

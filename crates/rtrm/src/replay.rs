@@ -2,7 +2,7 @@
 //!
 //! [`BatchScheduler`](crate::scheduler::BatchScheduler) plans against
 //! runtime *estimates*; replay executes the plan on real
-//! [`Node`](antarex_sim::node::Node) models — heterogeneous process
+//! [`Node`] models — heterogeneous process
 //! corners, DVFS states, thermal trajectories — and accounts wall-clock
 //! and energy. This closes the loop between the cluster-level dispatching
 //! knob and the node-level physics, and powers the scheduler-energy

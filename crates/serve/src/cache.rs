@@ -1,0 +1,241 @@
+//! The memoized design-point cache.
+//!
+//! Keyed by (knob configuration, quantized workload features): when two
+//! tenants — or the same tenant twice — ask for the metrics of the same
+//! configuration on the same kind of input, the second answer is a
+//! lookup, not a re-evaluation. Entries are sharded like the session
+//! store so concurrent readers contend only per shard; hit/miss counts
+//! are lock-free atomics.
+
+use crate::store::mix64;
+use antarex_tuner::Configuration;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Measured metrics of one design point (metric name → value).
+pub type Metrics = BTreeMap<String, f64>;
+
+/// Cache key: the canonical rendering of a configuration plus the
+/// workload features quantized to a fixed grid (micro-resolution), so
+/// float noise below 1e-6 does not defeat memoization.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DesignKey {
+    config: String,
+    features: Vec<i64>,
+}
+
+impl DesignKey {
+    /// Builds the key for a configuration evaluated under the given
+    /// workload features.
+    pub fn new(config: &Configuration, features: &[f64]) -> Self {
+        DesignKey {
+            config: config.to_string(),
+            features: features.iter().map(|&f| quantize(f)).collect(),
+        }
+    }
+
+    /// Folds the key into a stable 64-bit hash (SplitMix64 over the
+    /// canonical rendering) — identical across runs and platforms, used
+    /// both for shard selection and as a probe seed.
+    pub fn seed(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for byte in self.config.as_bytes() {
+            h = mix64(h ^ u64::from(*byte));
+        }
+        for q in &self.features {
+            h = mix64(h ^ (*q as u64));
+        }
+        h
+    }
+}
+
+fn quantize(f: f64) -> i64 {
+    if f.is_finite() {
+        (f * 1e6).round() as i64
+    } else {
+        i64::MAX
+    }
+}
+
+/// Sharded memoization table with hit/miss accounting.
+///
+/// # Examples
+///
+/// ```
+/// use antarex_serve::cache::{DesignKey, DesignPointCache};
+/// use antarex_tuner::{Configuration, KnobValue};
+///
+/// let cache = DesignPointCache::new(4);
+/// let mut config = Configuration::new();
+/// config.set("alternatives", KnobValue::Int(4));
+/// let key = DesignKey::new(&config, &[8.5]);
+/// assert!(cache.get(&key).is_none());
+/// cache.insert(key.clone(), [("latency".to_string(), 0.2)].into_iter().collect());
+/// assert_eq!(cache.get(&key).unwrap().get("latency"), Some(&0.2));
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DesignPointCache {
+    shards: Vec<Mutex<BTreeMap<DesignKey, Metrics>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DesignPointCache {
+    /// Creates a cache with the given shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "cache needs at least one shard");
+        DesignPointCache {
+            shards: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &DesignKey) -> usize {
+        (key.seed() % self.shards.len() as u64) as usize
+    }
+
+    fn lock(&self, index: usize) -> std::sync::MutexGuard<'_, BTreeMap<DesignKey, Metrics>> {
+        match self.shards[index].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Looks up a design point, counting a hit or a miss.
+    pub fn get(&self, key: &DesignKey) -> Option<Metrics> {
+        let found = self.lock(self.shard_of(key)).get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or overwrites) a design point's metrics.
+    pub fn insert(&self, key: DesignKey, metrics: Metrics) {
+        self.lock(self.shard_of(&key)).insert(key, metrics);
+    }
+
+    /// Counts a hit that bypassed [`get`](Self::get) — a request
+    /// coalesced onto an evaluation already in flight is served by the
+    /// memo table even though the entry has not been filled yet.
+    pub fn note_coalesced_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cached design points.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.lock(i).len()).sum()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit fraction over all lookups so far (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total > 0.0 {
+            hits / total
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antarex_tuner::KnobValue;
+
+    fn config(level: i64) -> Configuration {
+        let mut c = Configuration::new();
+        c.set("level", KnobValue::Int(level));
+        c
+    }
+
+    fn metrics(latency: f64) -> Metrics {
+        [("latency".to_string(), latency)].into_iter().collect()
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = DesignPointCache::new(4);
+        let key = DesignKey::new(&config(2), &[10.0]);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), metrics(0.3));
+        assert_eq!(cache.get(&key).unwrap(), metrics(0.3));
+        assert_eq!(cache.get(&key).unwrap(), metrics(0.3));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_configs_and_features_do_not_collide() {
+        let cache = DesignPointCache::new(4);
+        cache.insert(DesignKey::new(&config(1), &[1.0]), metrics(0.1));
+        cache.insert(DesignKey::new(&config(2), &[1.0]), metrics(0.2));
+        cache.insert(DesignKey::new(&config(1), &[2.0]), metrics(0.3));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(
+            cache.get(&DesignKey::new(&config(1), &[2.0])).unwrap(),
+            metrics(0.3)
+        );
+    }
+
+    #[test]
+    fn quantization_absorbs_sub_micro_noise() {
+        let cache = DesignPointCache::new(2);
+        cache.insert(DesignKey::new(&config(1), &[10.0]), metrics(0.1));
+        // 1e-9 of feature noise maps to the same cell
+        assert!(cache
+            .get(&DesignKey::new(&config(1), &[10.000000001]))
+            .is_some());
+        // 1e-3 does not
+        assert!(cache.get(&DesignKey::new(&config(1), &[10.001])).is_none());
+    }
+
+    #[test]
+    fn non_finite_features_are_usable_keys() {
+        let cache = DesignPointCache::new(2);
+        cache.insert(DesignKey::new(&config(1), &[f64::NAN]), metrics(1.0));
+        assert!(cache
+            .get(&DesignKey::new(&config(1), &[f64::INFINITY]))
+            .is_some());
+    }
+
+    #[test]
+    fn empty_cache_reports_zero_rate() {
+        let cache = DesignPointCache::new(1);
+        assert_eq!(cache.hit_rate(), 0.0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = DesignPointCache::new(0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Typed errors of the request-serving path.
+//!
+//! Everything a caller can hit while a request is in flight is an error
+//! value, not a panic: the service stays up when one tenant misbehaves.
+//! Construction-time contract violations (zero shards, zero workers)
+//! remain documented panics, matching the rest of the workspace.
+
+use crate::store::TenantId;
+use std::fmt;
+
+/// Why the service could not answer a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The tenant was never registered (or was evicted).
+    UnknownTenant(TenantId),
+    /// A tenant with this id is already registered.
+    TenantExists(TenantId),
+    /// Admission control shed the request: the evaluation queue was
+    /// full when its probe had to be scheduled.
+    Shed {
+        /// Queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// No operating point satisfies the tenant's SLA constraints; the
+    /// caller should renegotiate the SLA or escalate to the RTRM.
+    Infeasible(TenantId),
+    /// The tenant's knowledge base is empty — nothing to select from.
+    EmptyKnowledge(TenantId),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            ServeError::TenantExists(t) => write!(f, "tenant {t} already registered"),
+            ServeError::Shed { capacity } => {
+                write!(
+                    f,
+                    "request shed: evaluation queue full (capacity {capacity})"
+                )
+            }
+            ServeError::Infeasible(t) => {
+                write!(f, "tenant {t}: no operating point satisfies the SLA")
+            }
+            ServeError::EmptyKnowledge(t) => {
+                write!(f, "tenant {t}: empty knowledge base")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        assert_eq!(ServeError::UnknownTenant(7).to_string(), "unknown tenant 7");
+        assert!(ServeError::Shed { capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+        assert!(ServeError::Infeasible(3).to_string().contains("SLA"));
+        let boxed: Box<dyn std::error::Error> = Box::new(ServeError::TenantExists(1));
+        assert!(boxed.to_string().contains("already registered"));
+    }
+}

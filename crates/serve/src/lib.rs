@@ -1,0 +1,57 @@
+//! # antarex-serve — autotuning as a service
+//!
+//! The ANTAREX runtime (Silvano et al., DATE 2016) frames the autotuner
+//! as a facility shared by many application instances, sitting between
+//! app-level adaptation and cluster-level power management. This crate
+//! is that coordination point, scaled for heavy multi-tenant traffic:
+//!
+//! * [`store`] — the **sharded session store**: one
+//!   [`AppManager`](antarex_tuner::AppManager) per tenant behind
+//!   hash-sharded locks, so session lookups from many serving threads
+//!   contend only per shard;
+//! * [`cache`] — the **memoized design-point cache** keyed by (knob
+//!   configuration, quantized workload features), with lock-free
+//!   hit/miss accounting: identical configurations are never measured
+//!   twice, even across tenants;
+//! * [`pool`] — the **parallel evaluation pool**: scoped worker
+//!   threads over a bounded, load-shedding queue, with results merged
+//!   in job order and timing replayed on *virtual* cores so outputs
+//!   are byte-identical at any physical core count;
+//! * [`service`] — the tying layer: select → cache → probe → learn →
+//!   adapt per batch, plus the aggregate power demand the RTRM's
+//!   facility capper splits across tenants;
+//! * [`driver`] — the deterministic **virtual-time request driver**:
+//!   seeded per-tenant Poisson arrivals merged into batch windows;
+//! * [`nav`] — the navigation use case wired through the service as a
+//!   real evaluator.
+//!
+//! # Examples
+//!
+//! ```
+//! use antarex_serve::driver::{self, DriverConfig};
+//! use antarex_serve::nav::NavEvaluator;
+//! use antarex_serve::{ServiceConfig, TuningService};
+//!
+//! let service = TuningService::new(ServiceConfig::default(), NavEvaluator::city(1));
+//! let config = DriverConfig::smoke(1);
+//! driver::register_nav_tenants(&service, &config, 0.5);
+//! let stats = driver::drive(&service, &config);
+//! assert!(stats.served > 0);
+//! assert_eq!(stats.served + stats.shed + stats.rejected, stats.requests);
+//! ```
+
+pub mod cache;
+pub mod driver;
+pub mod error;
+pub mod nav;
+pub mod pool;
+pub mod service;
+pub mod store;
+
+pub use cache::{DesignKey, DesignPointCache};
+pub use error::ServeError;
+pub use pool::{EvalPool, PoolConfig};
+pub use service::{
+    BatchReport, Evaluator, ServiceConfig, TuningRequest, TuningResponse, TuningService,
+};
+pub use store::{Session, SessionStore, TenantId};

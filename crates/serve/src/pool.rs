@@ -1,0 +1,314 @@
+//! The parallel evaluation pool.
+//!
+//! Batches of design-point probes run on scoped worker threads pulling
+//! from a shared index — real parallelism — while every observable
+//! output stays deterministic: probes are pure functions of their job,
+//! results are merged back in job order, and timing is *virtual*: a
+//! list schedule (earliest-finishing worker first, lowest index on
+//! ties) replays the batch on `workers` virtual cores using the probes'
+//! reported compute costs. The virtual makespan, not the wall clock, is
+//! what reports and tests consume, so runs are byte-identical at any
+//! physical core count.
+//!
+//! Admission control follows the shed pattern of
+//! [`antarex_apps::nav::server`]: the queue is bounded, and a batch
+//! that overflows it has its tail shed *before* any work starts rather
+//! than stalling every tenant behind it.
+
+use crate::cache::Metrics;
+use crate::store::TenantId;
+use antarex_tuner::Configuration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One design-point probe to evaluate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalJob {
+    /// Position in the batch (assignment and merge order).
+    pub id: usize,
+    /// Tenant that first requested this design point.
+    pub tenant: TenantId,
+    /// The knob configuration to measure.
+    pub config: Configuration,
+    /// Workload features the probe runs under.
+    pub features: Vec<f64>,
+}
+
+/// What a probe reports back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Measured metrics of the design point.
+    pub metrics: Metrics,
+    /// Virtual compute cost of the probe, seconds.
+    pub cost_s: f64,
+}
+
+/// One merged result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// The job this result answers.
+    pub job: EvalJob,
+    /// The probe's evaluation.
+    pub evaluation: Evaluation,
+    /// Virtual completion time of the job within the batch, seconds
+    /// after batch start (queue wait + compute on its virtual worker).
+    pub completion_s: f64,
+}
+
+/// Outcome of one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Results in job-id order (admitted jobs only).
+    pub results: Vec<EvalResult>,
+    /// Jobs shed by admission control (the batch tail past capacity).
+    pub shed: Vec<EvalJob>,
+    /// Virtual makespan of the admitted jobs on `workers` cores.
+    pub makespan_s: f64,
+}
+
+/// Pool sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Worker threads (and virtual cores in the replayed schedule).
+    pub workers: usize,
+    /// Bounded queue: probes admitted per batch before shedding.
+    pub queue_capacity: usize,
+}
+
+impl PoolConfig {
+    /// A pool with the given worker count and a 256-probe queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_workers(workers: usize) -> Self {
+        let config = PoolConfig {
+            workers,
+            queue_capacity: 256,
+        };
+        config.validate();
+        config
+    }
+
+    fn validate(&self) {
+        assert!(self.workers > 0, "pool needs at least one worker");
+        assert!(self.queue_capacity > 0, "queue capacity must be positive");
+    }
+}
+
+/// The evaluation pool.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalPool {
+    config: PoolConfig,
+}
+
+impl EvalPool {
+    /// Creates a pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config names zero workers or zero capacity.
+    pub fn new(config: PoolConfig) -> Self {
+        config.validate();
+        EvalPool { config }
+    }
+
+    /// The pool sizing.
+    pub fn config(&self) -> PoolConfig {
+        self.config
+    }
+
+    /// Evaluates a batch: admits up to `queue_capacity` jobs, sheds the
+    /// rest, runs the admitted probes on scoped worker threads, and
+    /// merges results deterministically.
+    ///
+    /// `probe` must be a pure function of the job — the contract that
+    /// makes the parallel schedule invisible in the output.
+    pub fn evaluate_batch<F>(&self, mut jobs: Vec<EvalJob>, probe: &F) -> BatchOutcome
+    where
+        F: Fn(&EvalJob) -> Evaluation + Sync,
+    {
+        let admitted_count = jobs.len().min(self.config.queue_capacity);
+        let shed = jobs.split_off(admitted_count);
+        let evaluations = self.run_parallel(&jobs, probe);
+        let completions = virtual_schedule(&evaluations, self.config.workers);
+        let makespan_s = completions.iter().cloned().fold(0.0, f64::max);
+        let results = jobs
+            .into_iter()
+            .zip(evaluations)
+            .zip(completions)
+            .map(|((job, evaluation), completion_s)| EvalResult {
+                job,
+                evaluation,
+                completion_s,
+            })
+            .collect();
+        BatchOutcome {
+            results,
+            shed,
+            makespan_s,
+        }
+    }
+
+    /// Runs the probes on `workers` scoped threads; returns evaluations
+    /// in job order regardless of which thread ran what.
+    fn run_parallel<F>(&self, jobs: &[EvalJob], probe: &F) -> Vec<Evaluation>
+    where
+        F: Fn(&EvalJob) -> Evaluation + Sync,
+    {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.config.workers.min(jobs.len());
+        if threads == 1 {
+            return jobs.iter().map(probe).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Evaluation>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    let evaluation = probe(job);
+                    if let Ok(mut slot) = slots[index].lock() {
+                        *slot = Some(evaluation);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .unwrap_or(Evaluation {
+                        metrics: Metrics::new(),
+                        cost_s: 0.0,
+                    })
+            })
+            .collect()
+    }
+}
+
+/// Replays the batch on `workers` virtual cores: jobs in id order, each
+/// assigned to the earliest-available worker (lowest index on ties).
+/// Returns each job's virtual completion time.
+fn virtual_schedule(evaluations: &[Evaluation], workers: usize) -> Vec<f64> {
+    let mut busy_until = vec![0.0f64; workers.max(1)];
+    evaluations
+        .iter()
+        .map(|evaluation| {
+            let worker = busy_until
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            busy_until[worker] += evaluation.cost_s.max(0.0);
+            busy_until[worker]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antarex_tuner::KnobValue;
+
+    fn job(id: usize) -> EvalJob {
+        let mut config = Configuration::new();
+        config.set("level", KnobValue::Int(id as i64));
+        EvalJob {
+            id,
+            tenant: id as u64,
+            config,
+            features: vec![id as f64],
+        }
+    }
+
+    fn probe(j: &EvalJob) -> Evaluation {
+        Evaluation {
+            metrics: [("latency".to_string(), 0.01 * (j.id + 1) as f64)]
+                .into_iter()
+                .collect(),
+            cost_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let pool = EvalPool::new(PoolConfig::with_workers(4));
+        let outcome = pool.evaluate_batch((0..37).map(job).collect(), &probe);
+        assert_eq!(outcome.results.len(), 37);
+        for (i, r) in outcome.results.iter().enumerate() {
+            assert_eq!(r.job.id, i);
+            assert_eq!(
+                r.evaluation.metrics.get("latency"),
+                Some(&(0.01 * (i + 1) as f64))
+            );
+        }
+        assert!(outcome.shed.is_empty());
+    }
+
+    #[test]
+    fn parallel_batches_are_byte_identical() {
+        let jobs: Vec<EvalJob> = (0..64).map(job).collect();
+        let four = EvalPool::new(PoolConfig::with_workers(4));
+        let a = four.evaluate_batch(jobs.clone(), &probe);
+        let b = four.evaluate_batch(jobs, &probe);
+        assert_eq!(a, b, "same batch must merge identically across runs");
+    }
+
+    #[test]
+    fn virtual_makespan_scales_with_workers() {
+        let jobs: Vec<EvalJob> = (0..64).map(job).collect();
+        let one = EvalPool::new(PoolConfig::with_workers(1))
+            .evaluate_batch(jobs.clone(), &probe)
+            .makespan_s;
+        let four = EvalPool::new(PoolConfig::with_workers(4))
+            .evaluate_batch(jobs, &probe)
+            .makespan_s;
+        assert!((one - 64.0).abs() < 1e-9);
+        assert!(
+            (four - 16.0).abs() < 1e-9,
+            "64 unit jobs on 4 cores: {four}"
+        );
+    }
+
+    #[test]
+    fn admission_control_sheds_the_tail() {
+        let pool = EvalPool::new(PoolConfig {
+            workers: 2,
+            queue_capacity: 10,
+        });
+        let outcome = pool.evaluate_batch((0..15).map(job).collect(), &probe);
+        assert_eq!(outcome.results.len(), 10);
+        assert_eq!(outcome.shed.len(), 5);
+        assert_eq!(outcome.shed[0].id, 10, "shed jobs are the batch tail");
+    }
+
+    #[test]
+    fn completion_times_include_queue_wait() {
+        let pool = EvalPool::new(PoolConfig::with_workers(2));
+        let outcome = pool.evaluate_batch((0..4).map(job).collect(), &probe);
+        let completions: Vec<f64> = outcome.results.iter().map(|r| r.completion_s).collect();
+        // unit costs, 2 virtual cores: jobs 0,1 finish at 1.0; jobs 2,3 at 2.0
+        assert_eq!(completions, vec![1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(outcome.makespan_s, 2.0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pool = EvalPool::new(PoolConfig::with_workers(4));
+        let outcome = pool.evaluate_batch(Vec::new(), &probe);
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.makespan_s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = PoolConfig::with_workers(0);
+    }
+}

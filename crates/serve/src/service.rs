@@ -1,0 +1,549 @@
+//! The multi-tenant autotuning service.
+//!
+//! One service instance hosts thousands of per-application tuning
+//! sessions (the paper's vision of the autotuner as a shared runtime
+//! facility rather than a per-process library). A request names a
+//! tenant; the service selects the tenant's best feasible operating
+//! point, answers from the design-point cache when that point was
+//! already measured — for *any* tenant — and otherwise batches a probe
+//! onto the parallel evaluation pool. Fresh measurements flow back into
+//! the tenant's knowledge base (online learning), and the per-tenant
+//! power demands aggregate into the cluster power manager's budget
+//! split.
+
+use crate::cache::{DesignKey, DesignPointCache, Metrics};
+use crate::error::ServeError;
+use crate::pool::{EvalJob, EvalPool, Evaluation, PoolConfig};
+use crate::store::{Session, SessionStore, TenantId};
+use antarex_rtrm::powercap::try_weighted_split;
+use antarex_tuner::manager::AppManager;
+use antarex_tuner::Configuration;
+use std::collections::BTreeMap;
+
+/// Virtual cost of answering from the cache, seconds.
+const CACHE_LOOKUP_S: f64 = 1e-4;
+
+/// Measures design points for the service.
+///
+/// Implementations must be pure: the same configuration and features
+/// always yield the same evaluation. That is what lets the pool run
+/// probes on any number of threads — and the cache reuse them across
+/// tenants — without changing a single output byte.
+pub trait Evaluator: Sync {
+    /// Measures the metrics and virtual compute cost of a
+    /// configuration under the given workload features.
+    fn evaluate(&self, config: &Configuration, features: &[f64]) -> Evaluation;
+}
+
+impl<F> Evaluator for F
+where
+    F: Fn(&Configuration, &[f64]) -> Evaluation + Sync,
+{
+    fn evaluate(&self, config: &Configuration, features: &[f64]) -> Evaluation {
+        self(config, features)
+    }
+}
+
+/// Service sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Session-store shards.
+    pub store_shards: usize,
+    /// Design-point-cache shards.
+    pub cache_shards: usize,
+    /// Evaluation-pool sizing.
+    pub pool: PoolConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            store_shards: 16,
+            cache_shards: 16,
+            pool: PoolConfig {
+                workers: 4,
+                queue_capacity: 256,
+            },
+        }
+    }
+}
+
+/// One tuning request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningRequest {
+    /// The tenant asking.
+    pub tenant: TenantId,
+    /// Virtual arrival time, seconds.
+    pub arrival_s: f64,
+}
+
+/// One answered request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningResponse {
+    /// The tenant answered.
+    pub tenant: TenantId,
+    /// Virtual arrival time, seconds.
+    pub arrival_s: f64,
+    /// The configuration the tenant should deploy.
+    pub config: Configuration,
+    /// Measured (or cached) metrics of that configuration.
+    pub metrics: Metrics,
+    /// Virtual service latency: cache lookup, or queue wait plus probe
+    /// compute on the evaluation pool.
+    pub latency_s: f64,
+    /// Whether the design point came from the cache.
+    pub cache_hit: bool,
+}
+
+/// Outcome of one request batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Per-request outcomes, aligned with the submitted batch.
+    pub responses: Vec<Result<TuningResponse, ServeError>>,
+    /// Virtual makespan of the probes the pool ran.
+    pub makespan_s: f64,
+    /// Probes evaluated (batch-deduplicated misses).
+    pub evaluated: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+}
+
+/// The autotuning service.
+#[derive(Debug)]
+pub struct TuningService<E> {
+    store: SessionStore,
+    cache: DesignPointCache,
+    pool: EvalPool,
+    evaluator: E,
+}
+
+impl<E: Evaluator> TuningService<E> {
+    /// Creates a service around an evaluator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config names zero shards, workers, or capacity.
+    pub fn new(config: ServiceConfig, evaluator: E) -> Self {
+        TuningService {
+            store: SessionStore::new(config.store_shards),
+            cache: DesignPointCache::new(config.cache_shards),
+            pool: EvalPool::new(config.pool),
+            evaluator,
+        }
+    }
+
+    /// The session store.
+    pub fn store(&self) -> &SessionStore {
+        &self.store
+    }
+
+    /// The design-point cache.
+    pub fn cache(&self) -> &DesignPointCache {
+        &self.cache
+    }
+
+    /// Registers a tenant with its runtime manager and workload
+    /// features.
+    pub fn register_tenant(
+        &self,
+        tenant: TenantId,
+        manager: AppManager,
+        features: Vec<f64>,
+    ) -> Result<(), ServeError> {
+        self.store.insert(tenant, Session::new(manager, features))
+    }
+
+    /// Serves one batch of requests.
+    ///
+    /// The batch is processed in arrival order: operating points are
+    /// selected per tenant, cache misses are deduplicated and evaluated
+    /// in parallel (bounded queue; overflow is shed), results land in
+    /// the cache and in each tenant's knowledge base, and every touched
+    /// tenant runs one adaptation round at the batch's end time.
+    pub fn serve_batch(&self, requests: &[TuningRequest]) -> BatchReport {
+        // 1. select per request, splitting cache hits from misses
+        enum Pending {
+            Err(ServeError),
+            Hit(Configuration, Metrics),
+            Job {
+                config: Configuration,
+                job_id: usize,
+                coalesced: bool,
+            },
+        }
+        let mut pending: Vec<Pending> = Vec::with_capacity(requests.len());
+        let mut jobs: Vec<EvalJob> = Vec::new();
+        let mut job_of_key: BTreeMap<DesignKey, usize> = BTreeMap::new();
+        for request in requests {
+            let selected = self.store.with(request.tenant, |session| {
+                if session.manager.knowledge().is_empty() {
+                    return Err(ServeError::EmptyKnowledge(request.tenant));
+                }
+                match session.manager.select() {
+                    Some(config) => Ok((config.clone(), session.features.clone())),
+                    None => Err(ServeError::Infeasible(request.tenant)),
+                }
+            });
+            let entry = match selected {
+                Err(e) | Ok(Err(e)) => Pending::Err(e),
+                Ok(Ok((config, features))) => {
+                    let key = DesignKey::new(&config, &features);
+                    if let Some(&job_id) = job_of_key.get(&key) {
+                        // an earlier request in this batch already queued
+                        // this exact design point: coalesce onto it
+                        self.cache.note_coalesced_hit();
+                        Pending::Job {
+                            config,
+                            job_id,
+                            coalesced: true,
+                        }
+                    } else {
+                        match self.cache.get(&key) {
+                            Some(metrics) => Pending::Hit(config, metrics),
+                            None => {
+                                let job_id = jobs.len();
+                                jobs.push(EvalJob {
+                                    id: job_id,
+                                    tenant: request.tenant,
+                                    config: config.clone(),
+                                    features,
+                                });
+                                job_of_key.insert(key, job_id);
+                                Pending::Job {
+                                    config,
+                                    job_id,
+                                    coalesced: false,
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            pending.push(entry);
+        }
+
+        // 2. evaluate the deduplicated misses in parallel
+        let evaluator = &self.evaluator;
+        let outcome = self.pool.evaluate_batch(jobs, &|job: &EvalJob| {
+            evaluator.evaluate(&job.config, &job.features)
+        });
+        let admitted = outcome.results.len();
+        for result in &outcome.results {
+            let key = DesignKey::new(&result.job.config, &result.job.features);
+            self.cache.insert(key, result.evaluation.metrics.clone());
+        }
+
+        // 3. answer requests in order, feeding measurements back
+        let mut responses: Vec<Result<TuningResponse, ServeError>> =
+            Vec::with_capacity(requests.len());
+        let mut shed = 0;
+        let mut touched: Vec<TenantId> = Vec::new();
+        let mut batch_end_s = f64::NEG_INFINITY;
+        for (request, entry) in requests.iter().zip(pending) {
+            batch_end_s = batch_end_s.max(request.arrival_s);
+            let response = match entry {
+                Pending::Err(e) => Err(e),
+                Pending::Hit(config, metrics) => Ok(TuningResponse {
+                    tenant: request.tenant,
+                    arrival_s: request.arrival_s,
+                    config,
+                    metrics,
+                    latency_s: CACHE_LOOKUP_S,
+                    cache_hit: true,
+                }),
+                Pending::Job {
+                    config,
+                    job_id,
+                    coalesced,
+                } => {
+                    if job_id < admitted {
+                        let result = &outcome.results[job_id];
+                        Ok(TuningResponse {
+                            tenant: request.tenant,
+                            arrival_s: request.arrival_s,
+                            config,
+                            metrics: result.evaluation.metrics.clone(),
+                            latency_s: result.completion_s,
+                            cache_hit: coalesced,
+                        })
+                    } else {
+                        Err(ServeError::Shed {
+                            capacity: self.pool.config().queue_capacity,
+                        })
+                    }
+                }
+            };
+            match &response {
+                Ok(answer) => {
+                    let metrics = answer.metrics.clone();
+                    let config = answer.config.clone();
+                    let arrival = answer.arrival_s;
+                    let _ = self.store.with(request.tenant, |session| {
+                        session.requests += 1;
+                        session.last_config = Some(config);
+                        session.power_demand_w = metrics.get("power").copied().unwrap_or(0.0);
+                        for (metric, value) in &metrics {
+                            session.manager.observe(arrival, metric, *value);
+                        }
+                    });
+                    if !touched.contains(&request.tenant) {
+                        touched.push(request.tenant);
+                    }
+                }
+                Err(e) => {
+                    if matches!(e, ServeError::Shed { .. }) {
+                        shed += 1;
+                    }
+                    let _ = self.store.with(request.tenant, |session| {
+                        session.rejected += 1;
+                    });
+                }
+            }
+            responses.push(response);
+        }
+
+        // 4. one adaptation round per touched tenant, sorted order
+        touched.sort_unstable();
+        for tenant in touched {
+            let _ = self.store.with(tenant, |session| {
+                session.manager.adapt(batch_end_s);
+            });
+        }
+
+        BatchReport {
+            responses,
+            makespan_s: outcome.makespan_s,
+            evaluated: admitted,
+            shed,
+        }
+    }
+
+    /// Total power demand across every tenant's current operating
+    /// point, watts — the figure the RTRM's facility capper consumes.
+    pub fn aggregate_power_demand_w(&self) -> f64 {
+        self.store.fold(0.0, |acc, _, s| acc + s.power_demand_w)
+    }
+
+    /// Splits a facility power budget across tenants proportionally to
+    /// their demand, via the RTRM's weighted split (idle floor
+    /// included). Returns `None` when no tenant is registered.
+    pub fn power_split(&self, budget_w: f64) -> Option<Vec<(TenantId, f64)>> {
+        let (tenants, demands) = self.store.fold(
+            (Vec::new(), Vec::new()),
+            |(mut tenants, mut demands), tenant, session| {
+                tenants.push(tenant);
+                demands.push(session.power_demand_w);
+                (tenants, demands)
+            },
+        );
+        let shares = try_weighted_split(budget_w, &demands)?;
+        Some(tenants.into_iter().zip(shares).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antarex_tuner::goal::{Constraint, Objective};
+    use antarex_tuner::{KnobValue, KnowledgeBase, OperatingPoint};
+
+    fn config(level: i64) -> Configuration {
+        let mut c = Configuration::new();
+        c.set("level", KnobValue::Int(level));
+        c
+    }
+
+    fn kb() -> KnowledgeBase {
+        (1..=4)
+            .map(|l| {
+                OperatingPoint::new(
+                    config(l),
+                    [
+                        ("latency".to_string(), 0.1 * l as f64),
+                        ("quality".to_string(), l as f64),
+                        ("power".to_string(), 10.0 * l as f64),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    fn manager() -> AppManager {
+        let mut m = AppManager::new(kb(), Objective::maximize("quality"));
+        m.add_constraint(Constraint::at_most("latency", 0.45));
+        m
+    }
+
+    /// Probe: latency proportional to level, quality to sqrt(level),
+    /// power to level; cost = latency.
+    struct Probe;
+
+    impl Evaluator for Probe {
+        fn evaluate(&self, config: &Configuration, features: &[f64]) -> Evaluation {
+            let level = config.get_int("level").unwrap_or(1) as f64;
+            let scale = features.first().copied().unwrap_or(1.0);
+            let latency = 0.1 * level * scale;
+            Evaluation {
+                metrics: [
+                    ("latency".to_string(), latency),
+                    ("quality".to_string(), level.sqrt()),
+                    ("power".to_string(), 10.0 * level),
+                ]
+                .into_iter()
+                .collect(),
+                cost_s: latency,
+            }
+        }
+    }
+
+    fn service() -> TuningService<Probe> {
+        TuningService::new(ServiceConfig::default(), Probe)
+    }
+
+    fn requests(tenants: &[TenantId]) -> Vec<TuningRequest> {
+        tenants
+            .iter()
+            .enumerate()
+            .map(|(i, &tenant)| TuningRequest {
+                tenant,
+                arrival_s: i as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cache_reuses_design_points_across_tenants() {
+        let service = service();
+        for tenant in 0..4 {
+            service
+                .register_tenant(tenant, manager(), vec![1.0])
+                .unwrap();
+        }
+        // all four tenants select the same point on identical features:
+        // one probe, three cache hits
+        let report = service.serve_batch(&requests(&[0, 1, 2, 3]));
+        assert_eq!(report.evaluated, 1);
+        let hits = report
+            .responses
+            .iter()
+            .filter(|r| r.as_ref().is_ok_and(|a| a.cache_hit))
+            .count();
+        assert_eq!(hits, 3);
+        assert!(service.cache().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn unknown_tenant_is_an_error_not_a_panic() {
+        let service = service();
+        let report = service.serve_batch(&requests(&[99]));
+        assert_eq!(report.responses[0], Err(ServeError::UnknownTenant(99)));
+    }
+
+    #[test]
+    fn infeasible_sla_reports_typed_error() {
+        let service = service();
+        let mut m = AppManager::new(kb(), Objective::maximize("quality"));
+        m.add_constraint(Constraint::at_most("latency", 0.001));
+        service.register_tenant(7, m, vec![1.0]).unwrap();
+        let report = service.serve_batch(&requests(&[7]));
+        assert_eq!(report.responses[0], Err(ServeError::Infeasible(7)));
+        assert_eq!(service.store().with(7, |s| s.rejected).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_knowledge_reports_typed_error() {
+        let service = service();
+        let m = AppManager::new(KnowledgeBase::new(), Objective::maximize("quality"));
+        service.register_tenant(5, m, vec![1.0]).unwrap();
+        let report = service.serve_batch(&requests(&[5]));
+        assert_eq!(report.responses[0], Err(ServeError::EmptyKnowledge(5)));
+    }
+
+    #[test]
+    fn overflow_is_shed_not_stalled() {
+        let config = ServiceConfig {
+            pool: PoolConfig {
+                workers: 2,
+                queue_capacity: 2,
+            },
+            ..ServiceConfig::default()
+        };
+        let service = TuningService::new(config, Probe);
+        // distinct features per tenant → no cache sharing, one job each
+        for tenant in 0..5u64 {
+            service
+                .register_tenant(tenant, manager(), vec![1.0 + tenant as f64])
+                .unwrap();
+        }
+        let report = service.serve_batch(&requests(&[0, 1, 2, 3, 4]));
+        assert_eq!(report.evaluated, 2);
+        assert_eq!(report.shed, 3);
+        let shed_errors = report
+            .responses
+            .iter()
+            .filter(|r| matches!(r, Err(ServeError::Shed { .. })))
+            .count();
+        assert_eq!(shed_errors, 3);
+    }
+
+    #[test]
+    fn online_learning_downgrades_an_optimistic_tenant() {
+        let service = service();
+        // the design-time KB promised level 4 at 0.4 s, but this
+        // tenant's workload (features scale 2.0) measures 0.8 s — over
+        // the 0.45 s SLA; after learning, the manager must walk down
+        service.register_tenant(1, manager(), vec![2.0]).unwrap();
+        let mut level = 4;
+        for round in 0..6 {
+            let report = service.serve_batch(&[TuningRequest {
+                tenant: 1,
+                arrival_s: round as f64,
+            }]);
+            if let Ok(answer) = &report.responses[0] {
+                level = answer.config.get_int("level").unwrap();
+            }
+        }
+        assert!(level < 4, "learned latency must force a downgrade: {level}");
+    }
+
+    #[test]
+    fn power_demand_aggregates_and_splits() {
+        let service = service();
+        for tenant in 0..3 {
+            service
+                .register_tenant(tenant, manager(), vec![1.0])
+                .unwrap();
+        }
+        assert_eq!(service.power_split(300.0).unwrap().len(), 3);
+        assert_eq!(service.aggregate_power_demand_w(), 0.0);
+        service.serve_batch(&requests(&[0, 1, 2]));
+        let demand = service.aggregate_power_demand_w();
+        assert!(demand > 0.0, "served tenants must report demand");
+        let split = service.power_split(300.0).unwrap();
+        let total: f64 = split.iter().map(|(_, w)| w).sum();
+        assert!((total - 300.0).abs() < 1e-9, "budget conserved: {total}");
+    }
+
+    #[test]
+    fn empty_service_has_no_power_split() {
+        let service = service();
+        assert!(service.power_split(100.0).is_none());
+    }
+
+    #[test]
+    fn batches_are_deterministic_across_runs() {
+        let build = || {
+            let service = service();
+            for tenant in 0..8 {
+                service
+                    .register_tenant(tenant, manager(), vec![1.0 + (tenant % 3) as f64])
+                    .unwrap();
+            }
+            service
+        };
+        let batch = requests(&[0, 1, 2, 3, 4, 5, 6, 7, 0, 3, 6]);
+        let a = build().serve_batch(&batch);
+        let b = build().serve_batch(&batch);
+        assert_eq!(a, b, "parallel evaluation must not leak into outputs");
+    }
+}

@@ -1,0 +1,276 @@
+//! The sharded session store.
+//!
+//! One `AppManager` per tenant, hash-sharded over independently locked
+//! shards so lookups and updates from many serving threads contend only
+//! within a shard, never globally. Shards hold `BTreeMap`s and the shard
+//! index is a pure function of the tenant id, so every whole-store
+//! iteration (`tenants`, `fold`) visits sessions in the same order on
+//! every run — the determinism the service's reports rely on.
+
+use crate::error::ServeError;
+use antarex_tuner::manager::AppManager;
+use antarex_tuner::Configuration;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Tenant identifier: one concurrent application instance.
+pub type TenantId = u64;
+
+/// Per-tenant session state: the tenant's runtime autotuner plus the
+/// bookkeeping the service layer needs around it.
+#[derive(Debug)]
+pub struct Session {
+    /// The tenant's mARGOt-style runtime manager (knowledge base, SLA
+    /// constraints, online learning).
+    pub manager: AppManager,
+    /// Workload features of this tenant (input size, time of day, ...),
+    /// part of the design-point cache key.
+    pub features: Vec<f64>,
+    /// Requests answered for this tenant.
+    pub requests: u64,
+    /// Requests rejected (shed or infeasible).
+    pub rejected: u64,
+    /// Estimated power demand of the tenant's current operating point,
+    /// watts — what the cluster-level power capper consumes.
+    pub power_demand_w: f64,
+    /// The configuration most recently deployed for this tenant.
+    pub last_config: Option<Configuration>,
+}
+
+impl Session {
+    /// Creates a session around a manager with the given workload
+    /// features.
+    pub fn new(manager: AppManager, features: Vec<f64>) -> Self {
+        Session {
+            manager,
+            features,
+            requests: 0,
+            rejected: 0,
+            power_demand_w: 0.0,
+            last_config: None,
+        }
+    }
+}
+
+type Shard = BTreeMap<TenantId, Session>;
+
+/// SplitMix64 finalizer: a fixed, platform-independent mix so the
+/// shard of a tenant never depends on hasher randomization.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash-sharded map of tenant sessions.
+///
+/// # Examples
+///
+/// ```
+/// use antarex_serve::store::{Session, SessionStore};
+/// use antarex_tuner::goal::Objective;
+/// use antarex_tuner::{AppManager, KnowledgeBase};
+///
+/// let store = SessionStore::new(8);
+/// let manager = AppManager::new(KnowledgeBase::new(), Objective::minimize("latency"));
+/// store.insert(42, Session::new(manager, vec![1.0])).unwrap();
+/// assert_eq!(store.len(), 1);
+/// let requests = store.with(42, |s| {
+///     s.requests += 1;
+///     s.requests
+/// }).unwrap();
+/// assert_eq!(requests, 1);
+/// ```
+#[derive(Debug)]
+pub struct SessionStore {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl SessionStore {
+    /// Creates a store with the given shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "store needs at least one shard");
+        SessionStore {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, tenant: TenantId) -> usize {
+        (mix64(tenant) % self.shards.len() as u64) as usize
+    }
+
+    fn lock(&self, index: usize) -> std::sync::MutexGuard<'_, Shard> {
+        // a poisoned shard means a panic under another lock holder;
+        // the data itself is still structurally sound, so recover
+        match self.shards[index].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Registers a new tenant session.
+    pub fn insert(&self, tenant: TenantId, session: Session) -> Result<(), ServeError> {
+        let mut shard = self.lock(self.shard_of(tenant));
+        if shard.contains_key(&tenant) {
+            return Err(ServeError::TenantExists(tenant));
+        }
+        shard.insert(tenant, session);
+        Ok(())
+    }
+
+    /// Removes a tenant session, returning it if present.
+    pub fn remove(&self, tenant: TenantId) -> Option<Session> {
+        self.lock(self.shard_of(tenant)).remove(&tenant)
+    }
+
+    /// Runs `f` on the tenant's session under the shard lock.
+    pub fn with<R>(
+        &self,
+        tenant: TenantId,
+        f: impl FnOnce(&mut Session) -> R,
+    ) -> Result<R, ServeError> {
+        let mut shard = self.lock(self.shard_of(tenant));
+        match shard.get_mut(&tenant) {
+            Some(session) => Ok(f(session)),
+            None => Err(ServeError::UnknownTenant(tenant)),
+        }
+    }
+
+    /// Total sessions across all shards.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.lock(i).len()).sum()
+    }
+
+    /// Returns `true` when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every tenant id, sorted — a deterministic iteration order for
+    /// reports and aggregate control decisions.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut out: Vec<TenantId> = Vec::new();
+        for i in 0..self.shards.len() {
+            out.extend(self.lock(i).keys().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Folds `f` over every session in sorted-tenant order (shard by
+    /// shard internally, then merged deterministically).
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, TenantId, &Session) -> A) -> A {
+        let mut entries: Vec<(TenantId, usize)> = Vec::new();
+        for i in 0..self.shards.len() {
+            entries.extend(self.lock(i).keys().map(|&t| (t, i)));
+        }
+        entries.sort_unstable();
+        let mut acc = init;
+        for (tenant, shard_index) in entries {
+            let shard = self.lock(shard_index);
+            if let Some(session) = shard.get(&tenant) {
+                acc = f(acc, tenant, session);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antarex_tuner::goal::Objective;
+    use antarex_tuner::KnowledgeBase;
+
+    fn session() -> Session {
+        Session::new(
+            AppManager::new(KnowledgeBase::new(), Objective::minimize("latency")),
+            vec![0.5],
+        )
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let store = SessionStore::new(4);
+        store.insert(1, session()).unwrap();
+        store.insert(2, session()).unwrap();
+        assert_eq!(store.insert(1, session()), Err(ServeError::TenantExists(1)));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.tenants(), vec![1, 2]);
+        assert_eq!(
+            store.with(3, |_| ()).unwrap_err(),
+            ServeError::UnknownTenant(3)
+        );
+        assert!(store.remove(1).is_some());
+        assert!(store.remove(1).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn sessions_spread_across_shards() {
+        let store = SessionStore::new(8);
+        for t in 0..64 {
+            store.insert(t, session()).unwrap();
+        }
+        let occupied = (0..8)
+            .filter(|&i| {
+                store.shards[i]
+                    .lock()
+                    .map(|s| !s.is_empty())
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(occupied >= 6, "64 tenants landed in only {occupied} shards");
+        assert_eq!(store.len(), 64);
+    }
+
+    #[test]
+    fn fold_visits_in_sorted_order() {
+        let store = SessionStore::new(3);
+        for t in [9, 2, 17, 4] {
+            store.insert(t, session()).unwrap();
+        }
+        let order = store.fold(Vec::new(), |mut acc, t, _| {
+            acc.push(t);
+            acc
+        });
+        assert_eq!(order, vec![2, 4, 9, 17]);
+    }
+
+    #[test]
+    fn concurrent_updates_are_all_counted() {
+        let store = SessionStore::new(8);
+        for t in 0..32 {
+            store.insert(t, session()).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let store = &store;
+                scope.spawn(move || {
+                    for round in 0..100 {
+                        let tenant = (worker * 7 + round) % 32;
+                        store.with(tenant, |s| s.requests += 1).unwrap();
+                    }
+                });
+            }
+        });
+        let total = store.fold(0u64, |acc, _, s| acc + s.requests);
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = SessionStore::new(0);
+    }
+}

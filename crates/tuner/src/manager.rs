@@ -366,4 +366,54 @@ mod tests {
         let decision = manager.adapt(0.0);
         assert!(matches!(decision, Decision::Switch(_)));
     }
+
+    #[test]
+    fn empty_knowledge_base_selects_nothing() {
+        let mut manager = AppManager::new(KnowledgeBase::default(), Objective::maximize("quality"));
+        assert!(manager.knowledge().is_empty());
+        assert!(manager.select().is_none());
+        assert!(manager.current().is_none());
+        assert_eq!(manager.switches(), 0);
+    }
+
+    #[test]
+    fn empty_knowledge_base_adapts_without_panicking() {
+        let mut manager = AppManager::new(KnowledgeBase::default(), Objective::maximize("quality"));
+        // measurements with no deployed configuration must be ignored
+        manager.observe(0.0, "latency", 0.5);
+        assert_eq!(manager.adapt(1.0), Decision::Stay);
+        assert_eq!(manager.adapt(2.0), Decision::Stay);
+        assert!(manager.knowledge().is_empty(), "nothing to learn into");
+    }
+
+    #[test]
+    fn all_points_infeasible_under_stacked_constraints() {
+        // each constraint alone is satisfiable, their conjunction is not:
+        // low levels violate the quality floor, high levels the latency cap
+        let mut manager = AppManager::new(kb(), Objective::maximize("quality"));
+        manager.add_constraint(Constraint::at_most("latency", 0.25));
+        manager.add_constraint(Constraint::at_least("quality", 3.0));
+        assert!(manager.select().is_none());
+        assert!(manager.current().is_none());
+        // adapt must survive the infeasible state and report no switch
+        assert_eq!(manager.adapt(1.0), Decision::Stay);
+        assert_eq!(manager.switches(), 0);
+    }
+
+    #[test]
+    fn equal_scores_tie_break_to_the_earliest_point() {
+        // two configurations with identical objective value: the first
+        // point registered in the knowledge base must win, every time
+        let kb: KnowledgeBase = [3, 1]
+            .into_iter()
+            .map(|l| OperatingPoint::new(config(l), [("quality".to_string(), 2.0)]))
+            .collect();
+        let mut manager = AppManager::new(kb, Objective::maximize("quality"));
+        assert_eq!(manager.select().unwrap().get_int("level"), Some(3));
+        // re-selecting under a tie must not flap between the two points
+        for _ in 0..5 {
+            assert_eq!(manager.select().unwrap().get_int("level"), Some(3));
+        }
+        assert_eq!(manager.switches(), 0, "ties must not cause switches");
+    }
 }

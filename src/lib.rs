@@ -14,7 +14,9 @@
 //! * [`tuner`] — the grey-box application autotuner;
 //! * [`sim`] + [`rtrm`] — the simulated heterogeneous platform and its
 //!   runtime resource/power manager;
-//! * [`apps`] — the two driving use cases (drug discovery, navigation).
+//! * [`apps`] — the two driving use cases (drug discovery, navigation);
+//! * [`serve`] — the multi-tenant autotuning service (sharded sessions,
+//!   parallel evaluation, memoized design points).
 //!
 //! ```
 //! use antarex::core::flow::ToolFlow;
@@ -42,6 +44,7 @@ pub use antarex_ir as ir;
 pub use antarex_monitor as monitor;
 pub use antarex_precision as precision;
 pub use antarex_rtrm as rtrm;
+pub use antarex_serve as serve;
 pub use antarex_sim as sim;
 pub use antarex_tuner as tuner;
 pub use antarex_weaver as weaver;
