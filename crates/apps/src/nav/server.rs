@@ -282,9 +282,18 @@ impl NavigationServer {
             let served = self.try_serve(arrival_s, rng);
             let mut outcome = match served {
                 Ok(outcome) => outcome,
-                Err(e) => {
+                // terminal errors (no route, degenerate network) are
+                // returned at once; transient upstream faults burn an
+                // attempt and back off like a lost reply would
+                Err(e) if !e.is_retryable() || attempt == policy.max_attempts => {
                     self.alternatives = saved_alternatives;
                     return Err(e);
+                }
+                Err(_) => {
+                    backoff_total_s += backoff_s;
+                    self.drain(backoff_s);
+                    backoff_s *= policy.backoff_multiplier;
+                    continue;
                 }
             };
             let compute_s = self.backlog_s - backlog_before;

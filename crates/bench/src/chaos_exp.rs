@@ -1,0 +1,511 @@
+//! Experiment R2: chaos-hardened serving.
+//!
+//! Drives the multi-tenant serving tier through a deterministic fault
+//! campaign and measures what the hardening machinery buys:
+//!
+//! 1. **Goodput under faults** — the same seeded workload is served
+//!    three ways: fault-free baseline, faults with the unhardened
+//!    policy (no retries, no hedging, no breakers), and faults with the
+//!    hardened profile (hedged retries with deadlines, per-tenant
+//!    circuit breakers, quarantine). The headline claim: at a fault
+//!    rate where the unhardened service loses well over 10% of its
+//!    baseline goodput, the hardened service keeps ≥ 99% of it.
+//! 2. **Poisoned-tenant containment** — one tenant's probes always fail
+//!    the integrity check; its circuit breaker must trip and convert
+//!    the stream into fail-fast rejections instead of burned pool time,
+//!    while the other tenants keep serving.
+//! 3. **Crash and recovery** — the hardened, journaled service is
+//!    killed mid-run; recovery (snapshot + journal-suffix replay)
+//!    continues the remaining windows and the final
+//!    [`TuningService::state_report`] is compared byte for byte against
+//!    an uninterrupted run of the same seed.
+//!
+//! Everything is virtual-time and seeded, so the whole report is
+//! reproducible byte for byte — the CI determinism smoke diffs two runs.
+
+use antarex_serve::chaos::ChaosConfig;
+use antarex_serve::driver::{self, DriveStats, DriverConfig};
+use antarex_serve::nav::NavEvaluator;
+use antarex_serve::pool::PoolConfig;
+use antarex_serve::service::ResilienceConfig;
+use antarex_serve::store::TenantId;
+use antarex_serve::{ServiceConfig, TuningRequest, TuningService};
+use antarex_sim::faults::{FaultConfig, FaultSchedule};
+use antarex_tuner::manager::AppManager;
+use std::fmt::Write as _;
+
+/// Size of one R2 run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosScale {
+    /// Concurrent tenant sessions.
+    pub tenants: usize,
+    /// Distinct workload archetypes shared among tenants.
+    pub archetypes: usize,
+    /// Virtual duration of the driven run, seconds.
+    pub duration_s: f64,
+    /// Mean request rate per tenant, Hz.
+    pub rate_per_tenant_hz: f64,
+    /// Pool workers (= fault-schedule nodes).
+    pub workers: usize,
+}
+
+impl ChaosScale {
+    /// The full campaign printed by the `r2` experiment.
+    ///
+    /// One archetype per tenant keeps evaluation pressure on the pool
+    /// for the whole run (no cross-tenant memoization hiding the
+    /// faults), which is exactly the regime where hardening matters:
+    /// a workload the cache has fully absorbed cannot fail.
+    pub fn full() -> Self {
+        ChaosScale {
+            tenants: 96,
+            archetypes: 96,
+            duration_s: 120.0,
+            rate_per_tenant_hz: 0.1,
+            workers: 4,
+        }
+    }
+
+    /// A tiny campaign for smoke testing in `cargo test`.
+    pub fn tiny() -> Self {
+        ChaosScale {
+            tenants: 16,
+            archetypes: 16,
+            duration_s: 40.0,
+            rate_per_tenant_hz: 0.1,
+            workers: 2,
+        }
+    }
+
+    fn driver(&self, seed: u64) -> DriverConfig {
+        DriverConfig {
+            tenants: self.tenants,
+            archetypes: self.archetypes,
+            duration_s: self.duration_s,
+            rate_per_tenant_hz: self.rate_per_tenant_hz,
+            batch_window_s: 5.0,
+            seed,
+        }
+    }
+}
+
+/// The aggressive fault profile of the serving campaign. Exascale-cited
+/// MTBFs (hours per node) would produce nothing on a two-minute virtual
+/// horizon, so the rates are compressed to land several crashes, gray
+/// windows, and corruption windows on every run while keeping the same
+/// failure *shapes* as `FaultConfig::exascale`.
+pub fn serving_faults(seed: u64) -> FaultConfig {
+    let mut config = FaultConfig::none(seed);
+    config.node_mtbf_s = 45.0;
+    config.weibull_shape = 1.0;
+    config.repair_time_s = 4.0;
+    config.gray_mtbf_s = 35.0;
+    config.gray_slowdown = 8.0;
+    config.gray_duration_s = 6.0;
+    config.corrupt_mtbf_s = 6.0;
+    config.corrupt_window_s = 2.5;
+    config
+}
+
+fn nav_service(
+    seed: u64,
+    scale: &ChaosScale,
+    resilience: ResilienceConfig,
+    chaos: Option<ChaosConfig>,
+) -> TuningService<NavEvaluator> {
+    let service = TuningService::with_resilience(
+        ServiceConfig {
+            pool: PoolConfig {
+                workers: scale.workers,
+                queue_capacity: 256,
+            },
+            ..ServiceConfig::default()
+        },
+        resilience,
+        NavEvaluator::city(seed),
+    );
+    match chaos {
+        Some(chaos) => service.with_chaos(chaos),
+        None => service,
+    }
+}
+
+/// One row of the goodput comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoodputRow {
+    /// Profile label (`baseline`, `unhardened`, `hardened`).
+    pub profile: &'static str,
+    /// The driven-run statistics.
+    pub stats: DriveStats,
+    /// Total circuit trips across tenants.
+    pub breaker_trips: u64,
+}
+
+/// Serves the seeded workload under one (resilience, chaos) profile.
+pub fn goodput_run(
+    seed: u64,
+    scale: &ChaosScale,
+    profile: &'static str,
+    resilience: ResilienceConfig,
+    chaos: Option<ChaosConfig>,
+) -> GoodputRow {
+    let config = scale.driver(seed);
+    let service = nav_service(seed, scale, resilience, chaos);
+    driver::register_nav_tenants(&service, &config, 0.5);
+    let stats = driver::drive(&service, &config);
+    GoodputRow {
+        profile,
+        stats,
+        breaker_trips: service.breakers().total_trips(),
+    }
+}
+
+/// The three-way goodput comparison: baseline, unhardened under faults,
+/// hardened under the same faults.
+pub fn goodput_campaign(seed: u64, scale: &ChaosScale) -> Vec<GoodputRow> {
+    let schedule = || {
+        FaultSchedule::generate(
+            &serving_faults(seed),
+            scale.workers,
+            scale.duration_s + 60.0,
+        )
+    };
+    let unhardened = ResilienceConfig {
+        hedge: antarex_serve::chaos::HedgePolicy::disabled(),
+        breaker: antarex_serve::breaker::BreakerConfig::disabled(),
+        journaled: false,
+        snapshot_mtbf_s: 0.0,
+        snapshot_cost_s: 0.0,
+    };
+    vec![
+        goodput_run(seed, scale, "baseline", ResilienceConfig::disabled(), None),
+        goodput_run(
+            seed,
+            scale,
+            "unhardened",
+            unhardened,
+            Some(ChaosConfig::new(schedule())),
+        ),
+        goodput_run(
+            seed,
+            scale,
+            "hardened",
+            ResilienceConfig::hardened(),
+            Some(ChaosConfig::new(schedule())),
+        ),
+    ]
+}
+
+/// Outcome of the poisoned-tenant containment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainmentOutcome {
+    /// The poisoned tenant.
+    pub tenant: TenantId,
+    /// Requests the poisoned tenant issued.
+    pub poisoned_requests: u64,
+    /// Its requests that failed (faulted or fail-fasted).
+    pub poisoned_rejected: u64,
+    /// Times its circuit opened.
+    pub breaker_trips: u64,
+    /// Requests served across the *other* tenants.
+    pub others_served: u64,
+    /// Design points quarantined over the run.
+    pub quarantined: u64,
+}
+
+/// Poisons one tenant's probes and measures the blast radius.
+pub fn poisoned_tenant_containment(seed: u64, scale: &ChaosScale) -> ContainmentOutcome {
+    let poisoned: TenantId = 0;
+    let config = scale.driver(seed);
+    let schedule = FaultSchedule::generate(
+        &FaultConfig::none(seed),
+        scale.workers,
+        scale.duration_s + 60.0,
+    );
+    let service = nav_service(
+        seed,
+        scale,
+        ResilienceConfig::hardened(),
+        Some(ChaosConfig::new(schedule).poison(poisoned)),
+    );
+    driver::register_nav_tenants(&service, &config, 0.5);
+    let stats = driver::drive(&service, &config);
+    let (requests, rejected) = service
+        .store()
+        .with(poisoned, |s| (s.requests + s.rejected, s.rejected))
+        .unwrap_or((0, 0));
+    let trips = service
+        .breakers()
+        .snapshot()
+        .iter()
+        .find(|(t, _)| *t == poisoned)
+        .map(|(_, b)| b.trips())
+        .unwrap_or(0);
+    ContainmentOutcome {
+        tenant: poisoned,
+        poisoned_requests: requests,
+        poisoned_rejected: rejected,
+        breaker_trips: trips,
+        others_served: stats.served as u64
+            - service.store().with(poisoned, |s| s.requests).unwrap_or(0),
+        quarantined: stats.quarantined,
+    }
+}
+
+/// Outcome of the crash-recovery drill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryOutcome {
+    /// Batch windows served before the crash.
+    pub windows_before_crash: usize,
+    /// Batch windows served after recovery.
+    pub windows_after_crash: usize,
+    /// Whether a Daly snapshot existed at the crash.
+    pub had_snapshot: bool,
+    /// Journal-suffix entries replayed on recovery.
+    pub replayed_entries: usize,
+    /// Whether the recovered run's final state report equals the
+    /// uninterrupted run's, byte for byte.
+    pub bit_identical: bool,
+}
+
+/// Chunks the arrival stream into non-empty batch windows.
+fn batch_windows(events: &[TuningRequest], window_s: f64) -> Vec<&[TuningRequest]> {
+    let mut windows = Vec::new();
+    let mut start = 0;
+    let mut window_end = window_s;
+    while start < events.len() {
+        let end = events[start..]
+            .iter()
+            .position(|e| e.arrival_s >= window_end)
+            .map(|offset| start + offset)
+            .unwrap_or(events.len());
+        if end == start {
+            window_end += window_s;
+            continue;
+        }
+        windows.push(&events[start..end]);
+        start = end;
+    }
+    windows
+}
+
+/// Kills the hardened service mid-run, recovers from snapshot + journal
+/// suffix, finishes the workload, and compares against an uninterrupted
+/// run of the same seed.
+pub fn crash_recovery_drill(seed: u64, scale: &ChaosScale) -> RecoveryOutcome {
+    let config = scale.driver(seed);
+    let service_config = ServiceConfig {
+        pool: PoolConfig {
+            workers: scale.workers,
+            queue_capacity: 256,
+        },
+        ..ServiceConfig::default()
+    };
+    let resilience = ResilienceConfig::hardened();
+    let chaos = || {
+        ChaosConfig::new(FaultSchedule::generate(
+            &serving_faults(seed),
+            scale.workers,
+            scale.duration_s + 60.0,
+        ))
+    };
+    let make_manager = |_tenant: TenantId| -> AppManager { driver::nav_manager(0.5) };
+
+    let events = driver::arrivals(&config);
+    let windows = batch_windows(&events, config.batch_window_s);
+    let crash_at = windows.len() / 2;
+
+    let build = || {
+        let service =
+            TuningService::with_resilience(service_config, resilience, NavEvaluator::city(seed))
+                .with_chaos(chaos());
+        driver::register_nav_tenants(&service, &config, 0.5);
+        service
+    };
+
+    // the uninterrupted reference
+    let reference = build();
+    for window in &windows {
+        reference.serve_batch(window);
+    }
+
+    // the victim: crash after `crash_at` windows, recover, continue
+    let victim = build();
+    for window in &windows[..crash_at] {
+        victim.serve_batch(window);
+    }
+    let (snapshot, entries) = victim.crash();
+    let had_snapshot = snapshot.is_some();
+    let replayed_entries = entries.len();
+    let recovered = TuningService::recover(
+        service_config,
+        resilience,
+        Some(chaos()),
+        NavEvaluator::city(seed),
+        snapshot,
+        &entries,
+        &make_manager,
+    );
+    for window in &windows[crash_at..] {
+        recovered.serve_batch(window);
+    }
+
+    RecoveryOutcome {
+        windows_before_crash: crash_at,
+        windows_after_crash: windows.len() - crash_at,
+        had_snapshot,
+        replayed_entries,
+        bit_identical: recovered.state_report() == reference.state_report(),
+    }
+}
+
+/// Renders the full R2 report for one seed and scale.
+pub fn r2_report(seed: u64, scale: &ChaosScale) -> String {
+    let mut out = String::new();
+    let faults = serving_faults(seed);
+    let _ = writeln!(
+        out,
+        "chaos campaign (seed {seed}, {} tenants, {} workers, {:.0} s virtual)",
+        scale.tenants, scale.workers, scale.duration_s
+    );
+    let _ = writeln!(
+        out,
+        "fault profile: node MTBF {:.0} s (repair {:.0} s), gray MTBF {:.0} s ({}x for {:.0} s), corruption MTBF {:.0} s ({:.0} s windows)",
+        faults.node_mtbf_s,
+        faults.repair_time_s,
+        faults.gray_mtbf_s,
+        faults.gray_slowdown,
+        faults.gray_duration_s,
+        faults.corrupt_mtbf_s,
+        faults.corrupt_window_s
+    );
+
+    let rows = goodput_campaign(seed, scale);
+    let baseline_goodput = rows[0].stats.goodput();
+    let _ = writeln!(
+        out,
+        "\n{:>11} {:>9} {:>7} {:>7} {:>6} {:>9} {:>8} {:>7} {:>7} {:>6}",
+        "profile",
+        "requests",
+        "served",
+        "failed",
+        "shed",
+        "goodput",
+        "rel",
+        "retries",
+        "hedges",
+        "trips"
+    );
+    for row in &rows {
+        let relative = if baseline_goodput > 0.0 {
+            row.stats.goodput() / baseline_goodput
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:>11} {:>9} {:>7} {:>7} {:>6} {:>8.1}% {:>7.1}% {:>7} {:>7} {:>6}",
+            row.profile,
+            row.stats.requests,
+            row.stats.served,
+            row.stats.failed,
+            row.stats.shed,
+            100.0 * row.stats.goodput(),
+            100.0 * relative,
+            row.stats.retries,
+            row.stats.hedges,
+            row.breaker_trips,
+        );
+    }
+    let unhardened_rel = rows[1].stats.goodput() / baseline_goodput;
+    let hardened_rel = rows[2].stats.goodput() / baseline_goodput;
+    let _ = writeln!(
+        out,
+        "hardening recovers {:.1}% of baseline goodput where the unhardened service keeps {:.1}%",
+        100.0 * hardened_rel,
+        100.0 * unhardened_rel
+    );
+
+    let containment = poisoned_tenant_containment(seed, scale);
+    let _ = writeln!(
+        out,
+        "\npoisoned tenant {}: {} requests, {} rejected, breaker tripped {} time(s), {} design points quarantined; other tenants served {}",
+        containment.tenant,
+        containment.poisoned_requests,
+        containment.poisoned_rejected,
+        containment.breaker_trips,
+        containment.quarantined,
+        containment.others_served
+    );
+
+    let recovery = crash_recovery_drill(seed, scale);
+    let _ = writeln!(
+        out,
+        "\ncrash after {} of {} windows: snapshot {}, {} journal entries replayed, recovered state {} the uninterrupted run",
+        recovery.windows_before_crash,
+        recovery.windows_before_crash + recovery.windows_after_crash,
+        if recovery.had_snapshot { "present" } else { "absent" },
+        recovery.replayed_entries,
+        if recovery.bit_identical {
+            "IDENTICAL to"
+        } else {
+            "DIVERGED from"
+        }
+    );
+    out
+}
+
+/// The registered `r2` experiment.
+pub fn r2_chaos_hardening() -> String {
+    r2_report(42, &ChaosScale::full())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_deterministic() {
+        let a = r2_report(3, &ChaosScale::tiny());
+        let b = r2_report(3, &ChaosScale::tiny());
+        assert_eq!(a, b, "same seed must reproduce the report byte for byte");
+    }
+
+    #[test]
+    fn hardened_goodput_holds_where_unhardened_collapses() {
+        let rows = goodput_campaign(42, &ChaosScale::full());
+        let baseline = rows[0].stats.goodput();
+        assert!(baseline > 0.9, "baseline must mostly serve: {baseline}");
+        let unhardened = rows[1].stats.goodput() / baseline;
+        let hardened = rows[2].stats.goodput() / baseline;
+        assert!(
+            unhardened <= 0.90,
+            "the fault rate must cost the unhardened service >= 10%: {unhardened}"
+        );
+        assert!(
+            hardened >= 0.99,
+            "the hardened service must keep >= 99% of baseline goodput: {hardened}"
+        );
+        assert!(rows[2].stats.retries > 0, "retries must have fired");
+    }
+
+    #[test]
+    fn poisoned_tenant_is_contained() {
+        let outcome = poisoned_tenant_containment(42, &ChaosScale::full());
+        assert!(outcome.breaker_trips >= 1, "the breaker must trip");
+        assert!(outcome.poisoned_rejected > 0);
+        assert!(outcome.quarantined > 0, "corrupt points must quarantine");
+        assert!(
+            outcome.others_served > 0,
+            "healthy tenants must keep serving"
+        );
+    }
+
+    #[test]
+    fn crash_recovery_is_bit_identical() {
+        let outcome = crash_recovery_drill(7, &ChaosScale::tiny());
+        assert!(outcome.windows_before_crash > 0);
+        assert!(outcome.windows_after_crash > 0);
+        assert!(outcome.bit_identical, "recovery must replay exactly");
+    }
+}

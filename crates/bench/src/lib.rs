@@ -28,11 +28,13 @@
 //! | a6 | §V     | FIFO vs EASY backfilling, replayed with energy |
 //! | r1 | —      | fault campaign: checkpoint/restart, sensor loss, safe mode |
 //! | s1 | §II    | autotuning-as-a-service: multi-tenant scaling, pool speedup, memoization |
+//! | r2 | —      | chaos hardening: goodput under faults, breaker containment, crash recovery |
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod ablations;
+pub mod chaos_exp;
 pub mod claims;
 pub mod figures;
 pub mod resiliency;
@@ -142,6 +144,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "autotuning as a service — multi-tenant scaling, pool speedup, memoization",
             run: serve_exp::s1_service_scaling,
         },
+        Experiment {
+            id: "r2",
+            title: "chaos hardening — goodput under faults, breaker containment, crash recovery",
+            run: chaos_exp::r2_chaos_hardening,
+        },
     ]
 }
 
@@ -213,7 +220,7 @@ mod tests {
                 assert_ne!(a.id, b.id);
             }
         }
-        assert_eq!(experiments.len(), 18);
+        assert_eq!(experiments.len(), 19);
     }
 
     #[test]

@@ -79,6 +79,18 @@ impl CheckpointPolicy {
     }
 }
 
+/// Daly's first-order optimal interval `√(2·C·M) − C` as a bare
+/// cadence, clamped below by `cost_s` — the form consumed by layers
+/// that snapshot state but model no separate restart cost (e.g. the
+/// serving tier's session-journal compaction).
+///
+/// # Panics
+///
+/// Panics if `mtbf_s` or `cost_s` is not positive.
+pub fn daly_interval_s(mtbf_s: f64, cost_s: f64) -> f64 {
+    CheckpointPolicy::daly(mtbf_s, cost_s, 0.0).interval_s
+}
+
 /// Wall-clock accounting of one run under faults.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CheckpointRun {
@@ -306,5 +318,15 @@ mod tests {
     #[should_panic(expected = "interval")]
     fn zero_interval_rejected() {
         let _ = CheckpointPolicy::every(0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn bare_cadence_matches_the_policy_interval() {
+        assert_eq!(
+            daly_interval_s(3600.0, 10.0),
+            CheckpointPolicy::daly(3600.0, 10.0, 30.0).interval_s
+        );
+        // degenerate MTBF clamps to the cost floor
+        assert_eq!(daly_interval_s(1.0, 10.0), 10.0);
     }
 }

@@ -81,6 +81,7 @@ pub struct DesignPointCache {
     shards: Vec<Mutex<BTreeMap<DesignKey, Metrics>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl DesignPointCache {
@@ -95,6 +96,7 @@ impl DesignPointCache {
             shards: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -131,6 +133,29 @@ impl DesignPointCache {
         self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Quarantines a design point whose evaluation failed or came back
+    /// corrupted: whatever the slot holds is evicted so the next caller
+    /// re-probes instead of being served a poisoned (or phantom) entry.
+    /// The eviction is charged to the miss counter — the coalesced
+    /// waiters that would have been hits must re-probe — and the
+    /// quarantine counter records the incident.
+    pub fn quarantine(&self, key: &DesignKey) {
+        self.lock(self.shard_of(key)).remove(key);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Every cached entry in key order — the deterministic dump the
+    /// snapshot machinery persists at a checkpoint boundary.
+    pub fn entries(&self) -> Vec<(DesignKey, Metrics)> {
+        let mut out: Vec<(DesignKey, Metrics)> = Vec::new();
+        for i in 0..self.shards.len() {
+            out.extend(self.lock(i).iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Cached design points.
     pub fn len(&self) -> usize {
         (0..self.shards.len()).map(|i| self.lock(i).len()).sum()
@@ -149,6 +174,11 @@ impl DesignPointCache {
     /// Lookups that missed.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Design points quarantined after failed or corrupted evaluations.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// Hit fraction over all lookups so far (0 when none happened).
@@ -237,5 +267,20 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = DesignPointCache::new(0);
+    }
+
+    #[test]
+    fn quarantine_evicts_and_counts_a_miss() {
+        let cache = DesignPointCache::new(4);
+        let key = DesignKey::new(&config(3), &[7.0]);
+        cache.insert(key.clone(), metrics(0.5));
+        cache.quarantine(&key);
+        assert!(cache.is_empty(), "quarantined entry must be evicted");
+        assert_eq!(cache.quarantined(), 1);
+        assert_eq!(cache.misses(), 1, "eviction charged as a miss");
+        assert!(cache.get(&key).is_none(), "waiters re-probe after eviction");
+        // quarantining an absent key is a no-op eviction but still counted
+        cache.quarantine(&key);
+        assert_eq!(cache.quarantined(), 2);
     }
 }

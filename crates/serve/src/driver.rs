@@ -68,10 +68,19 @@ pub struct DriveStats {
     pub shed: usize,
     /// Requests rejected for other reasons (infeasible SLA, ...).
     pub rejected: usize,
+    /// Requests dropped by faults: worker crashes, missed deadlines,
+    /// and open circuits.
+    pub failed: usize,
     /// Answers that came from the design-point cache.
     pub cache_hits: usize,
     /// Probes the pool actually ran.
     pub evaluated: usize,
+    /// Failed probe attempts re-dispatched with backoff.
+    pub retries: u64,
+    /// Hedge duplicates dispatched against stragglers.
+    pub hedges: u64,
+    /// Design points quarantined after failed or corrupted evaluation.
+    pub quarantined: u64,
     /// Total virtual busy time of the pool (sum of batch makespans).
     pub busy_s: f64,
     /// Mean virtual service latency of served requests, seconds.
@@ -96,6 +105,17 @@ impl DriveStats {
     pub fn cache_hit_rate(&self) -> f64 {
         if self.served > 0 {
             self.cache_hits as f64 / self.served as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Goodput: fraction of generated requests answered with a
+    /// configuration — the availability figure the chaos experiment
+    /// compares across hardening profiles.
+    pub fn goodput(&self) -> f64 {
+        if self.requests > 0 {
+            self.served as f64 / self.requests as f64
         } else {
             0.0
         }
@@ -201,8 +221,12 @@ pub fn drive<E: Evaluator>(service: &TuningService<E>, config: &DriverConfig) ->
         served: 0,
         shed: 0,
         rejected: 0,
+        failed: 0,
         cache_hits: 0,
         evaluated: 0,
+        retries: 0,
+        hedges: 0,
+        quarantined: 0,
         busy_s: 0.0,
         mean_latency_s: 0.0,
         p95_latency_s: 0.0,
@@ -224,7 +248,11 @@ pub fn drive<E: Evaluator>(service: &TuningService<E>, config: &DriverConfig) ->
         stats.busy_s += report.makespan_s;
         stats.evaluated += report.evaluated;
         stats.shed += report.shed;
+        stats.retries += report.retries;
+        stats.hedges += report.hedges;
+        stats.quarantined += report.quarantined;
         for response in &report.responses {
+            use crate::error::ServeError;
             match response {
                 Ok(answer) => {
                     stats.served += 1;
@@ -233,7 +261,12 @@ pub fn drive<E: Evaluator>(service: &TuningService<E>, config: &DriverConfig) ->
                     }
                     latencies.push(answer.latency_s);
                 }
-                Err(crate::error::ServeError::Shed { .. }) => {}
+                Err(ServeError::Shed { .. }) => {}
+                Err(
+                    ServeError::WorkerFailed { .. }
+                    | ServeError::Deadline
+                    | ServeError::CircuitOpen { .. },
+                ) => stats.failed += 1,
                 Err(_) => stats.rejected += 1,
             }
         }
@@ -312,6 +345,23 @@ mod tests {
             "8 tenants over 3 archetypes must reuse design points"
         );
         assert!(stats.evaluated < stats.served);
+    }
+
+    #[test]
+    fn fault_free_run_reports_clean_chaos_counters() {
+        let config = DriverConfig::smoke(17);
+        let service = service(2);
+        register_nav_tenants(&service, &config, 0.5);
+        let stats = drive(&service, &config);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.hedges, 0);
+        assert_eq!(stats.quarantined, 0);
+        assert!((stats.goodput() - stats.served as f64 / stats.requests as f64).abs() < 1e-12);
+        assert_eq!(
+            stats.served + stats.shed + stats.rejected + stats.failed,
+            stats.requests
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! remain documented panics, matching the rest of the workspace.
 
 use crate::store::TenantId;
+use antarex_apps::nav::NavError;
 use std::fmt;
 
 /// Why the service could not answer a request.
@@ -26,6 +27,55 @@ pub enum ServeError {
     Infeasible(TenantId),
     /// The tenant's knowledge base is empty — nothing to select from.
     EmptyKnowledge(TenantId),
+    /// Every evaluation attempt of the probe died with its worker (or
+    /// failed its result-integrity check and exhausted the retry
+    /// budget). The id names the worker of the last failed attempt.
+    WorkerFailed {
+        /// Virtual worker that ran the last failed attempt.
+        worker: usize,
+    },
+    /// The probe — including retries and hedges — could not produce a
+    /// verified result within the request's deadline budget.
+    Deadline,
+    /// The tenant's circuit breaker is open: its recent probes failed
+    /// consecutively, so the service fails fast instead of letting the
+    /// poisoned evaluator consume pool capacity. Retry after the
+    /// breaker's cooldown.
+    CircuitOpen {
+        /// Tenant whose breaker tripped.
+        tenant: TenantId,
+    },
+}
+
+impl ServeError {
+    /// Is retrying this request (later, or against a healthy worker)
+    /// worthwhile? Transient capacity and fault errors are retryable;
+    /// contract errors (unknown tenant, infeasible SLA, empty
+    /// knowledge) never clear on their own.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServeError::Shed { .. }
+            | ServeError::WorkerFailed { .. }
+            | ServeError::Deadline
+            | ServeError::CircuitOpen { .. } => true,
+            ServeError::UnknownTenant(_)
+            | ServeError::TenantExists(_)
+            | ServeError::Infeasible(_)
+            | ServeError::EmptyKnowledge(_) => false,
+        }
+    }
+}
+
+/// Maps serving-tier failures onto the navigation app's error type, so
+/// `try_serve_resilient` can distinguish retryable from terminal
+/// failures via [`NavError::is_retryable`].
+impl From<ServeError> for NavError {
+    fn from(e: ServeError) -> Self {
+        NavError::Upstream {
+            retryable: e.is_retryable(),
+            reason: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -44,6 +94,18 @@ impl fmt::Display for ServeError {
             }
             ServeError::EmptyKnowledge(t) => {
                 write!(f, "tenant {t}: empty knowledge base")
+            }
+            ServeError::WorkerFailed { worker } => {
+                write!(
+                    f,
+                    "evaluation failed: worker {worker} crashed or corrupted the result"
+                )
+            }
+            ServeError::Deadline => {
+                write!(f, "evaluation missed its deadline budget")
+            }
+            ServeError::CircuitOpen { tenant } => {
+                write!(f, "tenant {tenant}: circuit breaker open, failing fast")
             }
         }
     }
@@ -64,5 +126,35 @@ mod tests {
         assert!(ServeError::Infeasible(3).to_string().contains("SLA"));
         let boxed: Box<dyn std::error::Error> = Box::new(ServeError::TenantExists(1));
         assert!(boxed.to_string().contains("already registered"));
+        assert!(ServeError::WorkerFailed { worker: 2 }
+            .to_string()
+            .contains("worker 2"));
+        assert!(ServeError::Deadline.to_string().contains("deadline"));
+        assert!(ServeError::CircuitOpen { tenant: 5 }
+            .to_string()
+            .contains("breaker open"));
+    }
+
+    #[test]
+    fn retryability_classifier() {
+        assert!(ServeError::Shed { capacity: 4 }.is_retryable());
+        assert!(ServeError::WorkerFailed { worker: 0 }.is_retryable());
+        assert!(ServeError::Deadline.is_retryable());
+        assert!(ServeError::CircuitOpen { tenant: 1 }.is_retryable());
+        assert!(!ServeError::UnknownTenant(1).is_retryable());
+        assert!(!ServeError::TenantExists(1).is_retryable());
+        assert!(!ServeError::Infeasible(1).is_retryable());
+        assert!(!ServeError::EmptyKnowledge(1).is_retryable());
+    }
+
+    #[test]
+    fn maps_into_nav_error_preserving_retryability() {
+        let transient: NavError = ServeError::WorkerFailed { worker: 3 }.into();
+        assert!(transient.is_retryable());
+        assert!(transient.to_string().contains("worker 3"));
+        let terminal: NavError = ServeError::Infeasible(9).into();
+        assert!(!terminal.is_retryable());
+        let breaker: NavError = ServeError::CircuitOpen { tenant: 2 }.into();
+        assert!(breaker.is_retryable(), "breaker opens clear after cooldown");
     }
 }

@@ -1,0 +1,544 @@
+//! Crash-recoverable sessions: write-ahead journal, snapshots, replay.
+//!
+//! The serving tier's state — per-tenant managers with their learned
+//! knowledge, the design-point cache, the circuit breakers — lives in
+//! memory. A service crash would lose every tenant's online learning.
+//! This module models the persistent side of the story:
+//!
+//! * every state mutation the service performs is first appended to a
+//!   **write-ahead [`Journal`]** as a [`JournalEntry`] delta, sharded
+//!   by tenant (cache deltas by key) with a global sequence number so
+//!   replay has a total order;
+//! * on a Daly-informed cadence (from
+//!   [`antarex_rtrm::checkpoint::daly_interval_s`]) the service takes a
+//!   [`Snapshot`] — full clones of sessions, cache entries, breaker
+//!   states — and compacts the journal up to it;
+//! * after a crash, [`replay`] applies the journal suffix on top of
+//!   the last snapshot. Because every mutating call
+//!   (`select`/`observe`/`adapt`, breaker transitions, cache fills) is
+//!   deterministic and the journal preserves program order, the
+//!   recovered state is **bit-identical** to the pre-crash state — the
+//!   property the `r2` chaos experiment checks end to end.
+//!
+//! The journal lives in memory here (the simulator has no disk), but
+//! the contract is exactly a WAL's: entries are durable the moment
+//! they are appended, snapshots are atomic, and recovery = snapshot +
+//! ordered suffix.
+
+use crate::breaker::{BreakerBank, CircuitBreaker};
+use crate::cache::{DesignKey, DesignPointCache, Metrics};
+use crate::store::{mix64, Session, SessionStore, TenantId};
+use antarex_tuner::manager::AppManager;
+use antarex_tuner::Configuration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One durable state delta of the serving tier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEntry {
+    /// A tenant registered with its workload features. The manager is
+    /// not journaled: registration-time managers are reproducible from
+    /// the tenant id (the `make_manager` factory handed to [`replay`]).
+    Register {
+        /// The new tenant.
+        tenant: TenantId,
+        /// Its workload features.
+        features: Vec<f64>,
+    },
+    /// The tenant's manager ran one `select()` during request
+    /// admission (deploys/updates its current configuration).
+    Select {
+        /// The selecting tenant.
+        tenant: TenantId,
+    },
+    /// The tenant's breaker admitted a request at the time (replayed so
+    /// open → half-open transitions happen at identical instants).
+    BreakerAllow {
+        /// The admitted tenant.
+        tenant: TenantId,
+        /// Virtual admission time, seconds.
+        time_s: f64,
+    },
+    /// A request was answered: session bookkeeping plus one
+    /// `observe()` per metric, and breaker success feedback.
+    Learn {
+        /// The answered tenant.
+        tenant: TenantId,
+        /// Virtual arrival time of the request, seconds.
+        time_s: f64,
+        /// The configuration that answered it.
+        config: Configuration,
+        /// The measured (or cached) metrics fed to the monitors.
+        metrics: Metrics,
+    },
+    /// A request failed for a known tenant: rejection bookkeeping, and
+    /// breaker failure feedback when the error was a worker fault.
+    Reject {
+        /// The rejected tenant.
+        tenant: TenantId,
+        /// Virtual arrival time of the request, seconds.
+        time_s: f64,
+        /// Whether the failure counts against the tenant's breaker
+        /// (worker crash / deadline — not shed, not contract errors).
+        breaker_feedback: bool,
+    },
+    /// The tenant ran one adaptation round at the batch end.
+    Adapt {
+        /// The adapting tenant.
+        tenant: TenantId,
+        /// Virtual adaptation time, seconds.
+        now_s: f64,
+    },
+    /// A verified design point landed in the cache.
+    CacheInsert {
+        /// The design point.
+        key: DesignKey,
+        /// Its metrics.
+        metrics: Metrics,
+    },
+    /// A design point was quarantined (failed or corrupted evaluation).
+    Quarantine {
+        /// The evicted design point.
+        key: DesignKey,
+    },
+}
+
+impl JournalEntry {
+    /// The 64-bit routing hash that picks this entry's journal shard.
+    fn route(&self) -> u64 {
+        match self {
+            JournalEntry::Register { tenant, .. }
+            | JournalEntry::Select { tenant }
+            | JournalEntry::BreakerAllow { tenant, .. }
+            | JournalEntry::Learn { tenant, .. }
+            | JournalEntry::Reject { tenant, .. }
+            | JournalEntry::Adapt { tenant, .. } => mix64(*tenant),
+            JournalEntry::CacheInsert { key, .. } | JournalEntry::Quarantine { key } => key.seed(),
+        }
+    }
+}
+
+/// The sharded write-ahead journal. Entries append to the shard of
+/// their tenant (or cache key) under that shard's lock; a global atomic
+/// sequence number gives replay a total order across shards.
+#[derive(Debug)]
+pub struct Journal {
+    shards: Vec<Mutex<Vec<(u64, JournalEntry)>>>,
+    seq: AtomicU64,
+}
+
+impl Journal {
+    /// An empty journal with the given shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "journal needs at least one shard");
+        Journal {
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self, index: usize) -> std::sync::MutexGuard<'_, Vec<(u64, JournalEntry)>> {
+        match self.shards[index].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Appends one delta; returns its sequence number.
+    pub fn append(&self, entry: JournalEntry) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let shard = (entry.route() % self.shards.len() as u64) as usize;
+        self.lock(shard).push((seq, entry));
+        seq
+    }
+
+    /// The sequence number the *next* append will get — the compaction
+    /// watermark a snapshot records.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently held (post-compaction).
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.lock(i).len()).sum()
+    }
+
+    /// Returns `true` when no entry is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All pending entries merged back into append order.
+    pub fn entries_in_order(&self) -> Vec<JournalEntry> {
+        let mut all: Vec<(u64, JournalEntry)> = Vec::new();
+        for i in 0..self.shards.len() {
+            all.extend(self.lock(i).iter().cloned());
+        }
+        all.sort_by_key(|(seq, _)| *seq);
+        all.into_iter().map(|(_, entry)| entry).collect()
+    }
+
+    /// Drops every entry with a sequence number below `through_seq` —
+    /// they are covered by a snapshot now.
+    pub fn compact(&self, through_seq: u64) {
+        for i in 0..self.shards.len() {
+            self.lock(i).retain(|(seq, _)| *seq >= through_seq);
+        }
+    }
+}
+
+/// One atomic checkpoint of the full serving state.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Virtual time the snapshot was taken, seconds.
+    pub at_s: f64,
+    /// Journal watermark: entries with `seq < through_seq` are covered.
+    pub through_seq: u64,
+    /// Every tenant session, sorted by tenant id.
+    pub sessions: Vec<(TenantId, Session)>,
+    /// Every cached design point, sorted by key.
+    pub cache: Vec<(DesignKey, Metrics)>,
+    /// Every tenant's circuit breaker, sorted by tenant id.
+    pub breakers: Vec<(TenantId, CircuitBreaker)>,
+}
+
+/// Captures a snapshot of the serving state at virtual time `at_s`.
+pub fn take_snapshot(
+    at_s: f64,
+    journal: &Journal,
+    store: &SessionStore,
+    cache: &DesignPointCache,
+    breakers: &BreakerBank,
+) -> Snapshot {
+    Snapshot {
+        at_s,
+        through_seq: journal.next_seq(),
+        sessions: store.dump(),
+        cache: cache.entries(),
+        breakers: breakers.snapshot(),
+    }
+}
+
+/// Replays a journal suffix onto (already snapshot-restored) state.
+///
+/// Entries must be in append order. `make_manager` rebuilds the
+/// registration-time manager of tenants whose `Register` landed after
+/// the snapshot — it must be the same deterministic factory the
+/// original registration used.
+///
+/// Every application step is the exact call the service performed, so
+/// replay is bit-identical to the original execution.
+pub fn replay<F>(
+    entries: &[JournalEntry],
+    store: &SessionStore,
+    cache: &DesignPointCache,
+    breakers: &BreakerBank,
+    make_manager: &F,
+) where
+    F: Fn(TenantId) -> AppManager,
+{
+    // the live path feeds breakers only when they are enabled; replay
+    // must mirror that or it would materialize breakers the original
+    // execution never touched
+    let breaker_on = breakers.config().failure_threshold > 0;
+    for entry in entries {
+        match entry {
+            JournalEntry::Register { tenant, features } => {
+                let _ = store.insert(
+                    *tenant,
+                    Session::new(make_manager(*tenant), features.clone()),
+                );
+            }
+            JournalEntry::Select { tenant } => {
+                let _ = store.with(*tenant, |session| {
+                    let _ = session.manager.select();
+                });
+            }
+            JournalEntry::BreakerAllow { tenant, time_s } => {
+                breakers.with(*tenant, |b| {
+                    let _ = b.allow(*time_s);
+                });
+            }
+            JournalEntry::Learn {
+                tenant,
+                time_s,
+                config,
+                metrics,
+            } => {
+                let _ = store.with(*tenant, |session| {
+                    session.requests += 1;
+                    session.last_config = Some(config.clone());
+                    session.power_demand_w = metrics.get("power").copied().unwrap_or(0.0);
+                    for (metric, value) in metrics {
+                        session.manager.observe(*time_s, metric, *value);
+                    }
+                });
+                if breaker_on {
+                    breakers.with(*tenant, |b| b.on_success(*time_s));
+                }
+            }
+            JournalEntry::Reject {
+                tenant,
+                time_s,
+                breaker_feedback,
+            } => {
+                if *breaker_feedback {
+                    breakers.with(*tenant, |b| b.on_failure(*time_s));
+                }
+                let _ = store.with(*tenant, |session| {
+                    session.rejected += 1;
+                });
+            }
+            JournalEntry::Adapt { tenant, now_s } => {
+                let _ = store.with(*tenant, |session| {
+                    session.manager.adapt(*now_s);
+                });
+            }
+            JournalEntry::CacheInsert { key, metrics } => {
+                cache.insert(key.clone(), metrics.clone());
+            }
+            JournalEntry::Quarantine { key } => {
+                cache.quarantine(key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerConfig;
+    use antarex_tuner::goal::{Constraint, Objective};
+    use antarex_tuner::{KnobValue, KnowledgeBase, OperatingPoint};
+
+    fn kb() -> KnowledgeBase {
+        (1..=3)
+            .map(|l| {
+                let mut c = Configuration::new();
+                c.set("level", KnobValue::Int(l));
+                OperatingPoint::new(
+                    c,
+                    [
+                        ("latency".to_string(), 0.1 * l as f64),
+                        ("power".to_string(), 10.0 * l as f64),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    fn make_manager(_tenant: TenantId) -> AppManager {
+        let mut m = AppManager::new(kb(), Objective::minimize("latency"));
+        m.add_constraint(Constraint::at_most("latency", 0.5));
+        m
+    }
+
+    fn level(l: i64) -> Configuration {
+        let mut c = Configuration::new();
+        c.set("level", KnobValue::Int(l));
+        c
+    }
+
+    fn metrics(latency: f64) -> Metrics {
+        [
+            ("latency".to_string(), latency),
+            ("power".to_string(), 11.0),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn entries_merge_back_in_append_order() {
+        let journal = Journal::new(4);
+        let script = vec![
+            JournalEntry::Register {
+                tenant: 3,
+                features: vec![1.0],
+            },
+            JournalEntry::Select { tenant: 3 },
+            JournalEntry::CacheInsert {
+                key: DesignKey::new(&level(1), &[1.0]),
+                metrics: metrics(0.1),
+            },
+            JournalEntry::Learn {
+                tenant: 3,
+                time_s: 2.0,
+                config: level(1),
+                metrics: metrics(0.1),
+            },
+            JournalEntry::Adapt {
+                tenant: 3,
+                now_s: 2.0,
+            },
+        ];
+        for entry in &script {
+            journal.append(entry.clone());
+        }
+        assert_eq!(journal.entries_in_order(), script);
+        assert_eq!(journal.len(), script.len());
+    }
+
+    #[test]
+    fn compaction_drops_only_covered_entries() {
+        let journal = Journal::new(2);
+        journal.append(JournalEntry::Select { tenant: 1 });
+        journal.append(JournalEntry::Select { tenant: 2 });
+        let watermark = journal.next_seq();
+        journal.append(JournalEntry::Select { tenant: 3 });
+        journal.compact(watermark);
+        assert_eq!(
+            journal.entries_in_order(),
+            vec![JournalEntry::Select { tenant: 3 }]
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_direct_execution() {
+        // execute a small script directly...
+        let direct_store = SessionStore::new(4);
+        let direct_cache = DesignPointCache::new(4);
+        let direct_breakers = BreakerBank::new(BreakerConfig::hardened());
+        let journal = Journal::new(4);
+
+        let run = |entry: JournalEntry| {
+            journal.append(entry.clone());
+            replay(
+                &[entry],
+                &direct_store,
+                &direct_cache,
+                &direct_breakers,
+                &make_manager,
+            );
+        };
+        run(JournalEntry::Register {
+            tenant: 7,
+            features: vec![2.0],
+        });
+        run(JournalEntry::Select { tenant: 7 });
+        run(JournalEntry::Learn {
+            tenant: 7,
+            time_s: 1.5,
+            config: level(1),
+            metrics: metrics(0.12),
+        });
+        run(JournalEntry::Reject {
+            tenant: 7,
+            time_s: 2.0,
+            breaker_feedback: true,
+        });
+        run(JournalEntry::Adapt {
+            tenant: 7,
+            now_s: 2.5,
+        });
+
+        // ...then recover from the journal alone
+        let recovered_store = SessionStore::new(4);
+        let recovered_cache = DesignPointCache::new(4);
+        let recovered_breakers = BreakerBank::new(BreakerConfig::hardened());
+        replay(
+            &journal.entries_in_order(),
+            &recovered_store,
+            &recovered_cache,
+            &recovered_breakers,
+            &make_manager,
+        );
+
+        let fingerprint = |store: &SessionStore, breakers: &BreakerBank| {
+            let sessions = store.fold(String::new(), |mut acc, t, s| {
+                acc.push_str(&format!(
+                    "{t}:{}:{}:{:.6}:{:?};",
+                    s.requests, s.rejected, s.power_demand_w, s.manager
+                ));
+                acc
+            });
+            let banks: Vec<String> = breakers
+                .snapshot()
+                .iter()
+                .map(|(t, b)| format!("{t}:{}", b.state_label()))
+                .collect();
+            format!("{sessions}|{}", banks.join(","))
+        };
+        assert_eq!(
+            fingerprint(&direct_store, &direct_breakers),
+            fingerprint(&recovered_store, &recovered_breakers),
+            "replayed state must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn snapshot_plus_suffix_recovers_cache_and_breakers() {
+        let store = SessionStore::new(2);
+        let cache = DesignPointCache::new(2);
+        let breakers = BreakerBank::new(BreakerConfig::hardened());
+        let journal = Journal::new(2);
+
+        let early = JournalEntry::CacheInsert {
+            key: DesignKey::new(&level(1), &[1.0]),
+            metrics: metrics(0.1),
+        };
+        journal.append(early.clone());
+        replay(&[early], &store, &cache, &breakers, &make_manager);
+
+        let snapshot = take_snapshot(10.0, &journal, &store, &cache, &breakers);
+        journal.compact(snapshot.through_seq);
+        assert!(journal.is_empty());
+
+        let late = JournalEntry::CacheInsert {
+            key: DesignKey::new(&level(2), &[1.0]),
+            metrics: metrics(0.2),
+        };
+        journal.append(late.clone());
+        replay(&[late], &store, &cache, &breakers, &make_manager);
+
+        // recover: snapshot first, then the suffix
+        let r_store = SessionStore::new(2);
+        let r_cache = DesignPointCache::new(2);
+        let r_breakers = BreakerBank::new(BreakerConfig::hardened());
+        for (key, m) in &snapshot.cache {
+            r_cache.insert(key.clone(), m.clone());
+        }
+        r_breakers.restore(&snapshot.breakers);
+        replay(
+            &journal.entries_in_order(),
+            &r_store,
+            &r_cache,
+            &r_breakers,
+            &make_manager,
+        );
+        assert_eq!(r_cache.entries(), cache.entries());
+    }
+
+    #[test]
+    fn quarantine_replays_as_eviction() {
+        let store = SessionStore::new(1);
+        let cache = DesignPointCache::new(1);
+        let breakers = BreakerBank::new(BreakerConfig::disabled());
+        let key = DesignKey::new(&level(1), &[3.0]);
+        replay(
+            &[
+                JournalEntry::CacheInsert {
+                    key: key.clone(),
+                    metrics: metrics(0.3),
+                },
+                JournalEntry::Quarantine { key: key.clone() },
+            ],
+            &store,
+            &cache,
+            &breakers,
+            &make_manager,
+        );
+        assert!(cache.is_empty());
+        assert_eq!(cache.quarantined(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = Journal::new(0);
+    }
+}

@@ -20,6 +20,16 @@
 //! * [`service`] — the tying layer: select → cache → probe → learn →
 //!   adapt per batch, plus the aggregate power demand the RTRM's
 //!   facility capper splits across tenants;
+//! * [`chaos`] — the **fault-injected scheduler**: the pool's virtual
+//!   list schedule replayed against a deterministic
+//!   [`FaultSchedule`](antarex_sim::faults::FaultSchedule) — worker
+//!   crashes retried with capped backoff, stragglers hedged, results
+//!   integrity-checked, per-job deadline budgets enforced;
+//! * [`breaker`] — **per-tenant circuit breakers** so a tenant whose
+//!   probes keep failing fails fast instead of consuming pool capacity;
+//! * [`journal`] — **crash-recoverable sessions**: a write-ahead
+//!   journal of state deltas plus Daly-cadenced snapshots, with replay
+//!   proven bit-identical to the uninterrupted run;
 //! * [`driver`] — the deterministic **virtual-time request driver**:
 //!   seeded per-tenant Poisson arrivals merged into batch windows;
 //! * [`nav`] — the navigation use case wired through the service as a
@@ -37,21 +47,31 @@
 //! driver::register_nav_tenants(&service, &config, 0.5);
 //! let stats = driver::drive(&service, &config);
 //! assert!(stats.served > 0);
-//! assert_eq!(stats.served + stats.shed + stats.rejected, stats.requests);
+//! assert_eq!(
+//!     stats.served + stats.shed + stats.rejected + stats.failed,
+//!     stats.requests
+//! );
 //! ```
 
+pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod driver;
 pub mod error;
+pub mod journal;
 pub mod nav;
 pub mod pool;
 pub mod service;
 pub mod store;
 
+pub use breaker::{BreakerBank, BreakerConfig, CircuitBreaker};
 pub use cache::{DesignKey, DesignPointCache};
+pub use chaos::{ChaosConfig, HedgePolicy};
 pub use error::ServeError;
+pub use journal::{Journal, JournalEntry, Snapshot};
 pub use pool::{EvalPool, PoolConfig};
 pub use service::{
-    BatchReport, Evaluator, ServiceConfig, TuningRequest, TuningResponse, TuningService,
+    BatchReport, Evaluator, ResilienceConfig, ServiceConfig, TuningRequest, TuningResponse,
+    TuningService,
 };
 pub use store::{Session, SessionStore, TenantId};

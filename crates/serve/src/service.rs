@@ -11,14 +11,20 @@
 //! power demands aggregate into the cluster power manager's budget
 //! split.
 
+use crate::breaker::{BreakerBank, BreakerConfig};
 use crate::cache::{DesignKey, DesignPointCache, Metrics};
+use crate::chaos::{chaos_schedule, ChaosConfig, HedgePolicy};
 use crate::error::ServeError;
+use crate::journal::{take_snapshot, Journal, JournalEntry, Snapshot};
 use crate::pool::{EvalJob, EvalPool, Evaluation, PoolConfig};
 use crate::store::{Session, SessionStore, TenantId};
+use antarex_rtrm::checkpoint::daly_interval_s;
 use antarex_rtrm::powercap::try_weighted_split;
 use antarex_tuner::manager::AppManager;
 use antarex_tuner::Configuration;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
 
 /// Virtual cost of answering from the cache, seconds.
 const CACHE_LOOKUP_S: f64 = 1e-4;
@@ -68,6 +74,60 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Resilience tuning of one service instance: retry/hedge/deadline
+/// policy, circuit-breaker thresholds, and the write-ahead journal with
+/// its Daly-informed snapshot cadence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Deadline, hedging, and retry budget per evaluation job.
+    pub hedge: HedgePolicy,
+    /// Per-tenant circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Whether state deltas are journaled (required for recovery).
+    pub journaled: bool,
+    /// Service-MTBF estimate fed to Daly's √(2·C·M) − C snapshot
+    /// interval; must be positive when `journaled`.
+    pub snapshot_mtbf_s: f64,
+    /// Snapshot cost fed to the Daly interval; must be positive when
+    /// `journaled`.
+    pub snapshot_cost_s: f64,
+}
+
+impl ResilienceConfig {
+    /// The chaos-hardened profile: hedged retries with deadlines, live
+    /// breakers, journal + snapshots on a Daly cadence sized for a
+    /// 5-minute service MTBF and a 0.5 s snapshot cost.
+    pub fn hardened() -> Self {
+        ResilienceConfig {
+            hedge: HedgePolicy::hardened(),
+            breaker: BreakerConfig::hardened(),
+            journaled: true,
+            snapshot_mtbf_s: 300.0,
+            snapshot_cost_s: 0.5,
+        }
+    }
+
+    /// Everything off: the pre-hardening service, byte for byte.
+    pub fn disabled() -> Self {
+        ResilienceConfig {
+            hedge: HedgePolicy::disabled(),
+            breaker: BreakerConfig::disabled(),
+            journaled: false,
+            snapshot_mtbf_s: 0.0,
+            snapshot_cost_s: 0.0,
+        }
+    }
+
+    /// The Daly snapshot interval this config implies.
+    fn snapshot_interval_s(&self) -> f64 {
+        if self.journaled && self.snapshot_mtbf_s > 0.0 && self.snapshot_cost_s > 0.0 {
+            daly_interval_s(self.snapshot_mtbf_s, self.snapshot_cost_s)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
 /// One tuning request.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TuningRequest {
@@ -106,30 +166,141 @@ pub struct BatchReport {
     pub evaluated: usize,
     /// Requests shed by admission control.
     pub shed: usize,
+    /// Failed probe attempts re-dispatched with backoff (chaos mode).
+    pub retries: u64,
+    /// Hedge duplicates dispatched against stragglers (chaos mode).
+    pub hedges: u64,
+    /// Design points quarantined after failed or corrupted evaluation.
+    pub quarantined: u64,
 }
 
 /// The autotuning service.
 #[derive(Debug)]
 pub struct TuningService<E> {
+    config: ServiceConfig,
+    resilience: ResilienceConfig,
     store: SessionStore,
     cache: DesignPointCache,
     pool: EvalPool,
     evaluator: E,
+    chaos: Option<ChaosConfig>,
+    breakers: BreakerBank,
+    journal: Option<Journal>,
+    snapshot: Mutex<Option<Snapshot>>,
+    next_snapshot_s: Mutex<f64>,
 }
 
 impl<E: Evaluator> TuningService<E> {
-    /// Creates a service around an evaluator.
+    /// Creates a service around an evaluator with resilience disabled —
+    /// byte-identical to the pre-hardening serving tier.
     ///
     /// # Panics
     ///
     /// Panics if the config names zero shards, workers, or capacity.
     pub fn new(config: ServiceConfig, evaluator: E) -> Self {
+        Self::with_resilience(config, ResilienceConfig::disabled(), evaluator)
+    }
+
+    /// Creates a service with an explicit resilience profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config names zero shards, workers, or capacity.
+    pub fn with_resilience(
+        config: ServiceConfig,
+        resilience: ResilienceConfig,
+        evaluator: E,
+    ) -> Self {
+        let interval = resilience.snapshot_interval_s();
         TuningService {
+            config,
+            resilience,
             store: SessionStore::new(config.store_shards),
             cache: DesignPointCache::new(config.cache_shards),
             pool: EvalPool::new(config.pool),
             evaluator,
+            chaos: None,
+            breakers: BreakerBank::new(resilience.breaker),
+            journal: resilience
+                .journaled
+                .then(|| Journal::new(config.store_shards)),
+            snapshot: Mutex::new(None),
+            next_snapshot_s: Mutex::new(interval),
         }
+    }
+
+    /// Injects a deterministic fault environment: probe scheduling runs
+    /// through the fault-aware list scheduler instead of the healthy
+    /// one. Retries/hedges/deadlines follow the service's
+    /// [`ResilienceConfig`].
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Rebuilds a service after a crash from its persistent state: the
+    /// last snapshot (if any) plus the journal suffix in append order.
+    /// `make_manager` must be the deterministic factory original
+    /// registrations used. The recovered in-memory state is
+    /// bit-identical to the crashed instance's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config names zero shards, workers, or capacity.
+    pub fn recover<F>(
+        config: ServiceConfig,
+        resilience: ResilienceConfig,
+        chaos: Option<ChaosConfig>,
+        evaluator: E,
+        snapshot: Option<Snapshot>,
+        entries: &[JournalEntry],
+        make_manager: &F,
+    ) -> Self
+    where
+        F: Fn(TenantId) -> AppManager,
+    {
+        let mut service = Self::with_resilience(config, resilience, evaluator);
+        if let Some(c) = chaos {
+            service = service.with_chaos(c);
+        }
+        if let Some(snap) = &snapshot {
+            service.store = SessionStore::recover(config.store_shards, snap.sessions.clone());
+            for (key, metrics) in &snap.cache {
+                service.cache.insert(key.clone(), metrics.clone());
+            }
+            service.breakers.restore(&snap.breakers);
+            *lock_or_recover(&service.next_snapshot_s) =
+                snap.at_s + resilience.snapshot_interval_s();
+        }
+        crate::journal::replay(
+            entries,
+            &service.store,
+            &service.cache,
+            &service.breakers,
+            make_manager,
+        );
+        *lock_or_recover(&service.snapshot) = snapshot;
+        service
+    }
+
+    /// Simulates a crash: consumes the in-memory service and returns
+    /// only what a real deployment would find on stable storage — the
+    /// last snapshot and the journal suffix since it.
+    pub fn crash(self) -> (Option<Snapshot>, Vec<JournalEntry>) {
+        let snapshot = self
+            .snapshot
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let entries = self
+            .journal
+            .map(|j| j.entries_in_order())
+            .unwrap_or_default();
+        (snapshot, entries)
+    }
+
+    /// The sizing the service was built with.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
     }
 
     /// The session store.
@@ -142,6 +313,24 @@ impl<E: Evaluator> TuningService<E> {
         &self.cache
     }
 
+    /// The per-tenant circuit breakers.
+    pub fn breakers(&self) -> &BreakerBank {
+        &self.breakers
+    }
+
+    /// The resilience profile in force.
+    pub fn resilience(&self) -> ResilienceConfig {
+        self.resilience
+    }
+
+    /// Appends a delta to the write-ahead journal (no-op when the
+    /// service is not journaled).
+    fn journal_append(&self, entry: impl FnOnce() -> JournalEntry) {
+        if let Some(journal) = &self.journal {
+            journal.append(entry());
+        }
+    }
+
     /// Registers a tenant with its runtime manager and workload
     /// features.
     pub fn register_tenant(
@@ -150,16 +339,61 @@ impl<E: Evaluator> TuningService<E> {
         manager: AppManager,
         features: Vec<f64>,
     ) -> Result<(), ServeError> {
-        self.store.insert(tenant, Session::new(manager, features))
+        let result = self
+            .store
+            .insert(tenant, Session::new(manager, features.clone()));
+        if result.is_ok() {
+            self.journal_append(|| JournalEntry::Register { tenant, features });
+        }
+        result
+    }
+
+    /// Renders the full serving state — sessions, managers, cache
+    /// entries, breakers — as one deterministic string. Two services
+    /// with bit-identical state produce identical reports; the crash-
+    /// recovery experiment compares exactly this.
+    pub fn state_report(&self) -> String {
+        let mut out = String::new();
+        self.store.fold((), |(), tenant, session| {
+            let _ = writeln!(
+                out,
+                "tenant {tenant}: requests={} rejected={} power={:.6} last={:?} manager={:?}",
+                session.requests,
+                session.rejected,
+                session.power_demand_w,
+                session.last_config,
+                session.manager,
+            );
+        });
+        for (key, metrics) in self.cache.entries() {
+            let _ = writeln!(out, "cache {key:?} => {metrics:?}");
+        }
+        for (tenant, breaker) in self.breakers.snapshot() {
+            let _ = writeln!(
+                out,
+                "breaker {tenant}: {} trips={}",
+                breaker.state_label(),
+                breaker.trips()
+            );
+        }
+        out
     }
 
     /// Serves one batch of requests.
     ///
     /// The batch is processed in arrival order: operating points are
-    /// selected per tenant, cache misses are deduplicated and evaluated
-    /// in parallel (bounded queue; overflow is shed), results land in
-    /// the cache and in each tenant's knowledge base, and every touched
-    /// tenant runs one adaptation round at the batch's end time.
+    /// selected per tenant (tenants with an open circuit fail fast
+    /// first), cache misses are deduplicated and evaluated in parallel
+    /// (bounded queue; overflow is shed). Under an injected
+    /// [`ChaosConfig`] each probe is replayed through the fault-aware
+    /// scheduler — crashes retried with capped backoff, stragglers
+    /// hedged, results integrity-checked, deadlines enforced. Verified
+    /// results land in the cache and in each tenant's knowledge base;
+    /// failed design points are quarantined so waiters re-probe;
+    /// breakers take success/failure feedback; and every touched tenant
+    /// runs one adaptation round at the batch's end time. When
+    /// journaling is on, every mutation is appended to the WAL first
+    /// and a snapshot is taken on the Daly cadence.
     pub fn serve_batch(&self, requests: &[TuningRequest]) -> BatchReport {
         // 1. select per request, splitting cache hits from misses
         enum Pending {
@@ -171,10 +405,29 @@ impl<E: Evaluator> TuningService<E> {
                 coalesced: bool,
             },
         }
+        let breaker_on = self.resilience.breaker.failure_threshold > 0;
         let mut pending: Vec<Pending> = Vec::with_capacity(requests.len());
         let mut jobs: Vec<EvalJob> = Vec::new();
         let mut job_of_key: BTreeMap<DesignKey, usize> = BTreeMap::new();
         for request in requests {
+            // fail fast for tenants whose circuit is open: the request
+            // costs a breaker check, not pool capacity
+            if breaker_on
+                && !self
+                    .breakers
+                    .with(request.tenant, |b| b.allow(request.arrival_s))
+            {
+                pending.push(Pending::Err(ServeError::CircuitOpen {
+                    tenant: request.tenant,
+                }));
+                continue;
+            }
+            if breaker_on {
+                self.journal_append(|| JournalEntry::BreakerAllow {
+                    tenant: request.tenant,
+                    time_s: request.arrival_s,
+                });
+            }
             let selected = self.store.with(request.tenant, |session| {
                 if session.manager.knowledge().is_empty() {
                     return Err(ServeError::EmptyKnowledge(request.tenant));
@@ -184,6 +437,13 @@ impl<E: Evaluator> TuningService<E> {
                     None => Err(ServeError::Infeasible(request.tenant)),
                 }
             });
+            // `select()` mutates the manager (deploy/switch): journal it
+            // whenever it ran, even when it found the SLA infeasible
+            if matches!(&selected, Ok(Ok(_)) | Ok(Err(ServeError::Infeasible(_)))) {
+                self.journal_append(|| JournalEntry::Select {
+                    tenant: request.tenant,
+                });
+            }
             let entry = match selected {
                 Err(e) | Ok(Err(e)) => Pending::Err(e),
                 Ok(Ok((config, features))) => {
@@ -191,7 +451,6 @@ impl<E: Evaluator> TuningService<E> {
                     if let Some(&job_id) = job_of_key.get(&key) {
                         // an earlier request in this batch already queued
                         // this exact design point: coalesce onto it
-                        self.cache.note_coalesced_hit();
                         Pending::Job {
                             config,
                             job_id,
@@ -222,15 +481,85 @@ impl<E: Evaluator> TuningService<E> {
             pending.push(entry);
         }
 
-        // 2. evaluate the deduplicated misses in parallel
+        // 2. evaluate the deduplicated misses in parallel (the probes
+        // are pure and computed exactly once; under chaos only the
+        // virtual scheduling of those evaluations changes)
         let evaluator = &self.evaluator;
         let outcome = self.pool.evaluate_batch(jobs, &|job: &EvalJob| {
             evaluator.evaluate(&job.config, &job.features)
         });
         let admitted = outcome.results.len();
-        for result in &outcome.results {
+
+        let batch_start_s = requests
+            .iter()
+            .map(|r| r.arrival_s)
+            .fold(f64::INFINITY, f64::min);
+        let batch_start_s = if batch_start_s.is_finite() {
+            batch_start_s
+        } else {
+            0.0
+        };
+        let mut retries = 0u64;
+        let mut hedges = 0u64;
+        let mut quarantined = 0u64;
+        // per admitted job: virtual completion relative to batch start,
+        // or the typed error that ended it
+        let (job_outcomes, makespan_s) = match &self.chaos {
+            Some(chaos) => {
+                let evaluations: Vec<Evaluation> = outcome
+                    .results
+                    .iter()
+                    .map(|r| r.evaluation.clone())
+                    .collect();
+                let poisoned: Vec<bool> = outcome
+                    .results
+                    .iter()
+                    .map(|r| chaos.poisoned_tenants.contains(&r.job.tenant))
+                    .collect();
+                let (outcomes, stats, makespan) = chaos_schedule(
+                    &evaluations,
+                    &poisoned,
+                    self.pool.config().workers,
+                    batch_start_s,
+                    chaos,
+                    &self.resilience.hedge,
+                );
+                for s in &stats {
+                    retries += u64::from(s.retries);
+                    hedges += u64::from(s.hedges);
+                }
+                let relative: Vec<Result<f64, ServeError>> = outcomes
+                    .into_iter()
+                    .map(|o| o.map(|t| t - batch_start_s))
+                    .collect();
+                (relative, makespan)
+            }
+            None => (
+                outcome.results.iter().map(|r| Ok(r.completion_s)).collect(),
+                outcome.makespan_s,
+            ),
+        };
+
+        // verified results are memoized; failed design points are
+        // quarantined so coalesced waiters re-probe next time instead
+        // of being served a poisoned entry
+        for (result, job_outcome) in outcome.results.iter().zip(&job_outcomes) {
             let key = DesignKey::new(&result.job.config, &result.job.features);
-            self.cache.insert(key, result.evaluation.metrics.clone());
+            match job_outcome {
+                Ok(_) => {
+                    self.cache
+                        .insert(key.clone(), result.evaluation.metrics.clone());
+                    self.journal_append(|| JournalEntry::CacheInsert {
+                        key,
+                        metrics: result.evaluation.metrics.clone(),
+                    });
+                }
+                Err(_) => {
+                    self.cache.quarantine(&key);
+                    quarantined += 1;
+                    self.journal_append(|| JournalEntry::Quarantine { key });
+                }
+            }
         }
 
         // 3. answer requests in order, feeding measurements back
@@ -257,15 +586,23 @@ impl<E: Evaluator> TuningService<E> {
                     coalesced,
                 } => {
                     if job_id < admitted {
-                        let result = &outcome.results[job_id];
-                        Ok(TuningResponse {
-                            tenant: request.tenant,
-                            arrival_s: request.arrival_s,
-                            config,
-                            metrics: result.evaluation.metrics.clone(),
-                            latency_s: result.completion_s,
-                            cache_hit: coalesced,
-                        })
+                        match &job_outcomes[job_id] {
+                            Ok(completion_s) => {
+                                if coalesced {
+                                    self.cache.note_coalesced_hit();
+                                }
+                                Ok(TuningResponse {
+                                    tenant: request.tenant,
+                                    arrival_s: request.arrival_s,
+                                    config,
+                                    metrics: outcome.results[job_id].evaluation.metrics.clone(),
+                                    latency_s: *completion_s,
+                                    cache_hit: coalesced,
+                                })
+                            }
+                            // coalesced waiters share their job's fate
+                            Err(e) => Err(e.clone()),
+                        }
                     } else {
                         Err(ServeError::Shed {
                             capacity: self.pool.config().queue_capacity,
@@ -280,11 +617,21 @@ impl<E: Evaluator> TuningService<E> {
                     let arrival = answer.arrival_s;
                     let _ = self.store.with(request.tenant, |session| {
                         session.requests += 1;
-                        session.last_config = Some(config);
+                        session.last_config = Some(config.clone());
                         session.power_demand_w = metrics.get("power").copied().unwrap_or(0.0);
                         for (metric, value) in &metrics {
                             session.manager.observe(arrival, metric, *value);
                         }
+                    });
+                    if breaker_on {
+                        self.breakers
+                            .with(request.tenant, |b| b.on_success(arrival));
+                    }
+                    self.journal_append(|| JournalEntry::Learn {
+                        tenant: request.tenant,
+                        time_s: arrival,
+                        config,
+                        metrics,
                     });
                     if !touched.contains(&request.tenant) {
                         touched.push(request.tenant);
@@ -294,9 +641,28 @@ impl<E: Evaluator> TuningService<E> {
                     if matches!(e, ServeError::Shed { .. }) {
                         shed += 1;
                     }
-                    let _ = self.store.with(request.tenant, |session| {
-                        session.rejected += 1;
-                    });
+                    // worker faults and missed deadlines say the eval
+                    // path is unhealthy for this tenant; shed, open
+                    // circuits, and contract errors do not
+                    let feedback = breaker_on
+                        && matches!(e, ServeError::WorkerFailed { .. } | ServeError::Deadline);
+                    if feedback {
+                        self.breakers
+                            .with(request.tenant, |b| b.on_failure(request.arrival_s));
+                    }
+                    let known = self
+                        .store
+                        .with(request.tenant, |session| {
+                            session.rejected += 1;
+                        })
+                        .is_ok();
+                    if known {
+                        self.journal_append(|| JournalEntry::Reject {
+                            tenant: request.tenant,
+                            time_s: request.arrival_s,
+                            breaker_feedback: feedback,
+                        });
+                    }
                 }
             }
             responses.push(response);
@@ -308,13 +674,43 @@ impl<E: Evaluator> TuningService<E> {
             let _ = self.store.with(tenant, |session| {
                 session.manager.adapt(batch_end_s);
             });
+            self.journal_append(|| JournalEntry::Adapt {
+                tenant,
+                now_s: batch_end_s,
+            });
+        }
+
+        // 5. Daly-informed snapshot cadence: checkpoint the full state
+        // and compact the journal once the interval has elapsed
+        if let Some(journal) = &self.journal {
+            if batch_end_s.is_finite() {
+                let mut due = lock_or_recover(&self.next_snapshot_s);
+                if batch_end_s >= *due {
+                    let snap = take_snapshot(
+                        batch_end_s,
+                        journal,
+                        &self.store,
+                        &self.cache,
+                        &self.breakers,
+                    );
+                    journal.compact(snap.through_seq);
+                    *lock_or_recover(&self.snapshot) = Some(snap);
+                    let interval = self.resilience.snapshot_interval_s();
+                    while *due <= batch_end_s {
+                        *due += interval;
+                    }
+                }
+            }
         }
 
         BatchReport {
             responses,
-            makespan_s: outcome.makespan_s,
+            makespan_s,
             evaluated: admitted,
             shed,
+            retries,
+            hedges,
+            quarantined,
         }
     }
 
@@ -338,6 +734,15 @@ impl<E: Evaluator> TuningService<E> {
         );
         let shares = try_weighted_split(budget_w, &demands)?;
         Some(tenants.into_iter().zip(shares).collect())
+    }
+}
+
+/// Locks a mutex, recovering the guarded data from a poisoned lock —
+/// a panic under another holder leaves these states structurally sound.
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
     }
 }
 
@@ -545,5 +950,200 @@ mod tests {
         let a = build().serve_batch(&batch);
         let b = build().serve_batch(&batch);
         assert_eq!(a, b, "parallel evaluation must not leak into outputs");
+    }
+
+    use antarex_sim::faults::{FaultConfig, FaultSchedule};
+
+    fn quiet_schedule(nodes: usize) -> FaultSchedule {
+        FaultSchedule::generate(&FaultConfig::none(1), nodes, 10_000.0)
+    }
+
+    #[test]
+    fn quiet_chaos_with_hardened_resilience_matches_plain_service() {
+        let register = |service: &TuningService<Probe>| {
+            for tenant in 0..4u64 {
+                service
+                    .register_tenant(tenant, manager(), vec![1.0 + (tenant % 2) as f64])
+                    .unwrap();
+            }
+        };
+        let plain = service();
+        register(&plain);
+        let hardened = TuningService::with_resilience(
+            ServiceConfig::default(),
+            ResilienceConfig::hardened(),
+            Probe,
+        )
+        .with_chaos(ChaosConfig::new(quiet_schedule(4)));
+        register(&hardened);
+
+        for round in 0..3 {
+            let batch: Vec<TuningRequest> = (0..4u64)
+                .map(|t| TuningRequest {
+                    tenant: t,
+                    arrival_s: 10.0 * round as f64 + t as f64,
+                })
+                .collect();
+            let a = plain.serve_batch(&batch);
+            let b = hardened.serve_batch(&batch);
+            // identical up to float round-off: the chaos path measures
+            // completions in absolute virtual time and re-bases them,
+            // which can move the last ulp of a latency
+            assert_eq!(a.responses.len(), b.responses.len());
+            for (ra, rb) in a.responses.iter().zip(&b.responses) {
+                let (ra, rb) = (ra.as_ref().unwrap(), rb.as_ref().unwrap());
+                assert_eq!(ra.config, rb.config);
+                assert_eq!(ra.metrics, rb.metrics);
+                assert_eq!(ra.cache_hit, rb.cache_hit);
+                assert!((ra.latency_s - rb.latency_s).abs() < 1e-9);
+            }
+            assert!((a.makespan_s - b.makespan_s).abs() < 1e-9);
+            assert_eq!(b.retries, 0);
+            assert_eq!(b.hedges, 0);
+            assert_eq!(b.quarantined, 0);
+        }
+    }
+
+    #[test]
+    fn poisoned_tenant_trips_breaker_and_fails_fast() {
+        let chaos = ChaosConfig::new(quiet_schedule(4)).poison(9);
+        let service = TuningService::with_resilience(
+            ServiceConfig::default(),
+            ResilienceConfig::hardened(),
+            Probe,
+        )
+        .with_chaos(chaos);
+        service.register_tenant(9, manager(), vec![1.0]).unwrap();
+
+        // one coalesced job; every attempt fails the integrity check
+        let report = service.serve_batch(&requests(&[9, 9, 9]));
+        assert!(report
+            .responses
+            .iter()
+            .all(|r| matches!(r, Err(ServeError::WorkerFailed { .. }))));
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(
+            report.retries,
+            u64::from(HedgePolicy::hardened().max_retries)
+        );
+        assert!(service.cache().is_empty(), "corrupt results never memoize");
+
+        // three consecutive failures opened the circuit: within the
+        // cooldown the tenant fails fast without reaching the pool
+        let report = service.serve_batch(&[TuningRequest {
+            tenant: 9,
+            arrival_s: 3.0,
+        }]);
+        assert_eq!(
+            report.responses[0],
+            Err(ServeError::CircuitOpen { tenant: 9 })
+        );
+        assert_eq!(report.evaluated, 0);
+        assert_eq!(service.breakers().total_trips(), 1);
+        assert_eq!(service.store().with(9, |s| s.rejected).unwrap(), 4);
+    }
+
+    #[test]
+    fn shed_jobs_bypass_the_retry_machinery() {
+        // admission control sheds before the chaos scheduler ever sees
+        // a job: a shed request burns no retries, no backoff, and no
+        // breaker budget, while admitted jobs still go through the
+        // fault-aware scheduler
+        let config = ServiceConfig {
+            pool: PoolConfig {
+                workers: 2,
+                queue_capacity: 2,
+            },
+            ..ServiceConfig::default()
+        };
+        let service = TuningService::with_resilience(config, ResilienceConfig::hardened(), Probe)
+            .with_chaos(ChaosConfig::new(quiet_schedule(2)));
+        // distinct features per tenant → five distinct design points
+        for tenant in 0..5u64 {
+            service
+                .register_tenant(tenant, manager(), vec![1.0 + 0.1 * tenant as f64])
+                .unwrap();
+        }
+        let report = service.serve_batch(&requests(&[0, 1, 2, 3, 4]));
+        assert_eq!(report.evaluated, 2);
+        assert_eq!(report.shed, 3);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(service.breakers().total_trips(), 0);
+        assert!(report.responses[0].is_ok());
+        assert!(report.responses[1].is_ok());
+    }
+
+    #[test]
+    fn crash_recovery_replays_bit_identically() {
+        fn factory(_tenant: TenantId) -> AppManager {
+            manager()
+        }
+        let config = ServiceConfig::default();
+        let resilience = ResilienceConfig::hardened();
+        let build = || {
+            let service = TuningService::with_resilience(config, resilience, Probe);
+            for tenant in 0..4u64 {
+                service
+                    .register_tenant(tenant, factory(tenant), vec![1.0 + (tenant % 2) as f64])
+                    .unwrap();
+            }
+            service
+        };
+        let batch_at = |t0: f64| -> Vec<TuningRequest> {
+            (0..4u64)
+                .map(|tenant| TuningRequest {
+                    tenant,
+                    arrival_s: t0 + 0.5 * tenant as f64,
+                })
+                .collect()
+        };
+        // windows chosen so the Daly interval (√(2·0.5·300) − 0.5 ≈
+        // 16.8 s) fires between the third and fourth: the crash state
+        // is a snapshot plus a non-empty journal suffix
+        let windows = [0.0, 6.0, 20.0, 30.0, 36.0];
+
+        let reference = build();
+        for &t0 in &windows {
+            reference.serve_batch(&batch_at(t0));
+        }
+
+        let victim = build();
+        for &t0 in &windows[..4] {
+            victim.serve_batch(&batch_at(t0));
+        }
+        let (snapshot, entries) = victim.crash();
+        assert!(snapshot.is_some(), "Daly cadence must have snapshotted");
+        assert!(!entries.is_empty(), "suffix after the snapshot expected");
+        let recovered = TuningService::recover(
+            config, resilience, None, Probe, snapshot, &entries, &factory,
+        );
+        recovered.serve_batch(&batch_at(windows[4]));
+
+        let report = recovered.state_report();
+        assert!(!report.is_empty());
+        assert_eq!(report, reference.state_report(), "recovery must be exact");
+    }
+
+    #[test]
+    fn recovery_from_journal_alone_rebuilds_registrations() {
+        fn factory(_tenant: TenantId) -> AppManager {
+            manager()
+        }
+        let config = ServiceConfig::default();
+        let resilience = ResilienceConfig::hardened();
+        let service = TuningService::with_resilience(config, resilience, Probe);
+        service.register_tenant(3, factory(3), vec![2.0]).unwrap();
+        service.serve_batch(&requests(&[3, 3]));
+        let before = service.state_report();
+
+        // crash before any snapshot: recovery replays from seq 0
+        let (snapshot, entries) = service.crash();
+        assert!(snapshot.is_none());
+        let recovered = TuningService::recover(
+            config, resilience, None, Probe, snapshot, &entries, &factory,
+        );
+        assert_eq!(recovered.state_report(), before);
+        assert_eq!(recovered.store().with(3, |s| s.requests).unwrap(), 2);
     }
 }

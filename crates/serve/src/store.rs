@@ -18,7 +18,10 @@ pub type TenantId = u64;
 
 /// Per-tenant session state: the tenant's runtime autotuner plus the
 /// bookkeeping the service layer needs around it.
-#[derive(Debug)]
+///
+/// `Clone` so the journal's snapshot/recovery machinery can capture the
+/// full session state at a checkpoint boundary.
+#[derive(Debug, Clone)]
 pub struct Session {
     /// The tenant's mARGOt-style runtime manager (knowledge base, SLA
     /// constraints, online learning).
@@ -167,6 +170,30 @@ impl SessionStore {
         out
     }
 
+    /// Clones every session in sorted-tenant order — the atomic dump
+    /// the journal's snapshot machinery persists.
+    pub fn dump(&self) -> Vec<(TenantId, Session)> {
+        self.fold(Vec::new(), |mut acc, tenant, session| {
+            acc.push((tenant, session.clone()));
+            acc
+        })
+    }
+
+    /// Rebuilds a store from a snapshot dump (crash recovery). The
+    /// journal suffix is replayed on top by the caller — see
+    /// [`crate::journal::replay`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn recover(shards: usize, sessions: Vec<(TenantId, Session)>) -> Self {
+        let store = SessionStore::new(shards);
+        for (tenant, session) in sessions {
+            let _ = store.insert(tenant, session);
+        }
+        store
+    }
+
     /// Folds `f` over every session in sorted-tenant order (shard by
     /// shard internally, then merged deterministically).
     pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, TenantId, &Session) -> A) -> A {
@@ -272,5 +299,23 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = SessionStore::new(0);
+    }
+
+    #[test]
+    fn dump_and_recover_round_trip() {
+        let store = SessionStore::new(4);
+        for t in [5, 1, 9] {
+            store.insert(t, session()).unwrap();
+        }
+        store.with(9, |s| s.requests = 42).unwrap();
+        let dump = store.dump();
+        assert_eq!(
+            dump.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![1, 5, 9],
+            "dump is sorted"
+        );
+        let recovered = SessionStore::recover(4, dump);
+        assert_eq!(recovered.tenants(), store.tenants());
+        assert_eq!(recovered.with(9, |s| s.requests).unwrap(), 42);
     }
 }

@@ -74,6 +74,12 @@ pub struct FaultConfig {
     pub gray_slowdown: f64,
     /// Gray episode duration, seconds.
     pub gray_duration_s: f64,
+    /// Mean time between silent data-corruption windows per node,
+    /// seconds — episodes where results computed on the node come back
+    /// bit-flipped (DRAM/ALU upsets). 0 disables.
+    pub corrupt_mtbf_s: f64,
+    /// Duration of one corruption window, seconds.
+    pub corrupt_window_s: f64,
 }
 
 impl FaultConfig {
@@ -96,6 +102,8 @@ impl FaultConfig {
             gray_mtbf_s: 0.0,
             gray_slowdown: 2.0,
             gray_duration_s: 300.0,
+            corrupt_mtbf_s: 0.0,
+            corrupt_window_s: 5.0,
         }
     }
 
@@ -128,6 +136,8 @@ impl FaultConfig {
             gray_mtbf_s: mtbf(8.0 * 3600.0),
             gray_slowdown: 2.0,
             gray_duration_s: 300.0,
+            corrupt_mtbf_s: mtbf(12.0 * 3600.0),
+            corrupt_window_s: 5.0,
         }
     }
 }
@@ -185,6 +195,15 @@ pub enum FaultKind {
         /// End of the episode, seconds.
         until_s: f64,
     },
+    /// Results computed on the node come back bit-flipped until
+    /// `until_s` (silent data corruption; the consuming layer decides
+    /// whether its integrity checks catch it).
+    DataCorruption {
+        /// Affected node id.
+        node: usize,
+        /// End of the corruption window, seconds.
+        until_s: f64,
+    },
 }
 
 impl FaultKind {
@@ -197,6 +216,7 @@ impl FaultKind {
             FaultKind::PowerSpike { .. } => "power-spike",
             FaultKind::LinkDegraded { .. } => "link-degraded",
             FaultKind::GraySlowdown { .. } => "gray-slowdown",
+            FaultKind::DataCorruption { .. } => "data-corruption",
         }
     }
 }
@@ -344,6 +364,26 @@ impl FaultSchedule {
                         },
                     });
                     t += config.gray_duration_s;
+                }
+            }
+
+            // silent data-corruption windows
+            if config.corrupt_mtbf_s > 0.0 {
+                let mut rng = stream(6, node as u64);
+                let mut t = 0.0;
+                loop {
+                    t += exponential_sample(&mut rng, config.corrupt_mtbf_s);
+                    if t >= horizon_s {
+                        break;
+                    }
+                    events.push(FaultEvent {
+                        time_s: t,
+                        kind: FaultKind::DataCorruption {
+                            node,
+                            until_s: t + config.corrupt_window_s,
+                        },
+                    });
+                    t += config.corrupt_window_s;
                 }
             }
         }
@@ -515,6 +555,18 @@ impl FaultSchedule {
             .fold(1.0, f64::max)
     }
 
+    /// Is a result computed on `node` at time `t` silently bit-flipped?
+    /// The serving layer's end-to-end integrity checks consume this.
+    pub fn corrupted(&self, node: usize, t: f64) -> bool {
+        self.events
+            .iter()
+            .take_while(|e| e.time_s <= t)
+            .any(|e| match e.kind {
+                FaultKind::DataCorruption { node: n, until_s } => n == node && t < until_s,
+                _ => false,
+            })
+    }
+
     /// Stable 64-bit digest of the full schedule (FNV-1a over the event
     /// encoding). Two schedules are byte-identical iff digests and
     /// [`FaultSchedule::summary`] strings match — the determinism tests
@@ -572,7 +624,8 @@ fn event_node(event: &FaultEvent) -> Option<usize> {
         | FaultKind::SensorDropout { node, .. }
         | FaultKind::SensorStuck { node, .. }
         | FaultKind::PowerSpike { node, .. }
-        | FaultKind::GraySlowdown { node, .. } => Some(node),
+        | FaultKind::GraySlowdown { node, .. }
+        | FaultKind::DataCorruption { node, .. } => Some(node),
         FaultKind::LinkDegraded { .. } => None,
     }
 }
@@ -801,5 +854,95 @@ mod tests {
     #[should_panic(expected = "horizon")]
     fn zero_horizon_rejected() {
         let _ = FaultSchedule::generate(&FaultConfig::none(1), 4, 0.0);
+    }
+
+    #[test]
+    fn corruption_windows_are_queryable_and_deterministic() {
+        let mut config = FaultConfig::none(31);
+        config.corrupt_mtbf_s = 200.0;
+        config.corrupt_window_s = 10.0;
+        let schedule = FaultSchedule::generate(&config, 4, 3600.0);
+        let window = schedule
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                FaultKind::DataCorruption { node, until_s } => Some((e.time_s, node, until_s)),
+                _ => None,
+            })
+            .expect("corruption windows scheduled");
+        let (start, node, until) = window;
+        assert!(schedule.corrupted(node, (start + until) / 2.0));
+        assert!(!schedule.corrupted(node, start - 1e-6));
+        assert!(!schedule.corrupted(node, until), "window end is exclusive");
+        let again = FaultSchedule::generate(&config, 4, 3600.0);
+        assert_eq!(schedule, again);
+        // other classes' streams are untouched by enabling corruption
+        let mut crashes_only = FaultConfig::none(31);
+        crashes_only.node_mtbf_s = 500.0;
+        let mut both = crashes_only.clone();
+        both.corrupt_mtbf_s = 200.0;
+        let a = FaultSchedule::generate(&crashes_only, 4, 3600.0);
+        let b = FaultSchedule::generate(&both, 4, 3600.0);
+        assert_eq!(
+            a.any_crash_between(0.0, 3600.0),
+            b.any_crash_between(0.0, 3600.0)
+        );
+    }
+
+    #[test]
+    fn crash_queries_at_exact_event_timestamps() {
+        let schedule = harsh(29);
+        let (t, node) = schedule
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                FaultKind::NodeCrash { node } => Some((e.time_s, node)),
+                _ => None,
+            })
+            .expect("harsh profile crashes");
+        // the from bound is inclusive, the to bound exclusive
+        assert_eq!(schedule.crashes_between(node, t, t + 1e-9), vec![t]);
+        assert!(schedule.crashes_between(node, t - 1.0, t).is_empty());
+        assert!(schedule.any_crash_between(t, t + 1e-9).contains(&t));
+        assert!(!schedule.any_crash_between(t - 1.0, t).contains(&t));
+    }
+
+    #[test]
+    fn zero_length_windows_contain_nothing() {
+        let schedule = harsh(37);
+        let t = schedule
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                FaultKind::NodeCrash { .. } => Some(e.time_s),
+                _ => None,
+            })
+            .expect("harsh profile crashes");
+        assert!(schedule.any_crash_between(t, t).is_empty());
+        for node in 0..schedule.nodes() {
+            assert!(schedule.crashes_between(node, t, t).is_empty());
+        }
+    }
+
+    #[test]
+    fn node_alive_at_domain_boundaries() {
+        let schedule = harsh(41);
+        let horizon = schedule.horizon_s();
+        for node in 0..schedule.nodes() {
+            assert!(schedule.node_alive(node, 0.0), "every node starts alive");
+        }
+        // at the horizon the answer is still well-defined: dead only if
+        // the last crash of the node has no later repair
+        for node in 0..schedule.nodes() {
+            let mut alive = true;
+            for event in schedule.events() {
+                match event.kind {
+                    FaultKind::NodeCrash { node: n } if n == node => alive = false,
+                    FaultKind::NodeRepair { node: n } if n == node => alive = true,
+                    _ => {}
+                }
+            }
+            assert_eq!(schedule.node_alive(node, horizon), alive);
+        }
     }
 }

@@ -37,7 +37,7 @@ use std::collections::BTreeMap;
 /// let chosen = manager.select().unwrap();
 /// assert_eq!(chosen.get_int("alternatives"), Some(1), "0.9 s point violates the SLA");
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AppManager {
     knowledge: KnowledgeBase,
     objective: Objective,
