@@ -1,0 +1,123 @@
+//! Criterion: tuner data-plane hot path (experiment P1 mechanisms).
+//!
+//! Times the four operations the serving layer performs per request —
+//! knowledge-base `best()` (indexed vs the retained linear reference),
+//! online `learn()`, the Pareto filter, and design-point cache probes
+//! (structural key vs the retained string reference).
+
+use antarex_serve::cache::{DesignKey, DesignPointCache, Metrics, ReferenceKey};
+use antarex_tuner::goal::{Constraint, Objective};
+use antarex_tuner::knob::KnobValue;
+use antarex_tuner::space::Configuration;
+use antarex_tuner::{KnowledgeBase, OperatingPoint};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+fn config(i: u64) -> Configuration {
+    let mut c = Configuration::new();
+    c.set("unroll", KnobValue::Int((i % 32) as i64));
+    c.set("block", KnobValue::Int((i / 32 % 32) as i64));
+    c.set("threads", KnobValue::Int((i / 1024 % 8) as i64));
+    c
+}
+
+fn knowledge(points: u64) -> KnowledgeBase {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..points)
+        .map(|i| {
+            OperatingPoint::new(
+                config(i),
+                [
+                    ("time".to_string(), rng.gen::<f64>() * 10.0),
+                    ("energy".to_string(), rng.gen::<f64>() * 100.0),
+                    ("quality".to_string(), rng.gen::<f64>()),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn bench_select(c: &mut Criterion) {
+    let kb = knowledge(2048);
+    let objective = Objective::minimize("time");
+    let constraints = [
+        Constraint::at_most("energy", 60.0),
+        Constraint::at_least("quality", 0.2),
+    ];
+    let mut group = c.benchmark_group("kb_select_2048");
+    group.bench_function(BenchmarkId::from_parameter("indexed"), |b| {
+        b.iter(|| black_box(kb.best(black_box(&objective), black_box(&constraints))))
+    });
+    group.bench_function(BenchmarkId::from_parameter("linear_reference"), |b| {
+        b.iter(|| black_box(kb.best_linear(black_box(&objective), black_box(&constraints))))
+    });
+    group.finish();
+}
+
+fn bench_learn(c: &mut Criterion) {
+    let kb = knowledge(2048);
+    c.bench_function("kb_learn_2048", |b| {
+        let mut kb = kb.clone();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(997);
+            kb.learn(
+                OperatingPoint::new(config(i % 2048), [("time".to_string(), 1.0)]),
+                0.2,
+            );
+        })
+    });
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let kb = knowledge(512);
+    c.bench_function("kb_pareto_512_2d", |b| {
+        b.iter(|| black_box(kb.pareto(black_box(&["time", "energy"]))))
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cache = DesignPointCache::new(8);
+    let metrics: Metrics = [("time".to_string(), 1.0)].into_iter().collect();
+    for i in 0..256 {
+        cache.insert(DesignKey::new(&config(i), &[1.0]), metrics.clone());
+    }
+    let mut reference: BTreeMap<ReferenceKey, Metrics> = BTreeMap::new();
+    for i in 0..256 {
+        reference.insert(ReferenceKey::new(&config(i), &[1.0]), metrics.clone());
+    }
+    let mut group = c.benchmark_group("cache_probe");
+    group.bench_function(BenchmarkId::from_parameter("hit_structural"), |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(cache.get(&DesignKey::new(&config(i % 256), &[1.0])))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("hit_string_reference"), |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(reference.get(&ReferenceKey::new(&config(i % 256), &[1.0])))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("miss_structural"), |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(cache.get(&DesignKey::new(&config(i % 256), &[9.9])))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_select,
+    bench_learn,
+    bench_pareto,
+    bench_cache
+);
+criterion_main!(benches);

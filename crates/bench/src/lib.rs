@@ -29,6 +29,7 @@
 //! | r1 | —      | fault campaign: checkpoint/restart, sensor loss, safe mode |
 //! | s1 | §II    | autotuning-as-a-service: multi-tenant scaling, pool speedup, memoization |
 //! | r2 | —      | chaos hardening: goodput under faults, breaker containment, crash recovery |
+//! | p1 | —      | hot-path data plane: indexed select, structural cache keys, parallel DSE |
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -39,6 +40,7 @@ pub mod claims;
 pub mod figures;
 pub mod resiliency;
 pub mod serve_exp;
+pub mod tuner_exp;
 pub mod use_cases;
 
 /// One registered experiment.
@@ -149,6 +151,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "chaos hardening — goodput under faults, breaker containment, crash recovery",
             run: chaos_exp::r2_chaos_hardening,
         },
+        Experiment {
+            id: "p1",
+            title: "hot-path data plane — indexed select, structural keys, parallel DSE",
+            run: tuner_exp::p1_hot_path_report,
+        },
     ]
 }
 
@@ -220,7 +227,7 @@ mod tests {
                 assert_ne!(a.id, b.id);
             }
         }
-        assert_eq!(experiments.len(), 19);
+        assert_eq!(experiments.len(), 20);
     }
 
     #[test]

@@ -6,38 +6,160 @@
 //! lookup, not a re-evaluation. Entries are sharded like the session
 //! store so concurrent readers contend only per shard; hit/miss counts
 //! are lock-free atomics.
+//!
+//! # Key representation
+//!
+//! [`DesignKey`] used to render the configuration to a `String`
+//! (`{a=1, b=2}`) and compare keys byte-by-byte — one heap allocation
+//! plus an O(len) format pass per lookup, on the hottest path the
+//! service has. It now stores a precomputed 128-bit structural hash
+//! over the interned knob ids, their values, and the quantized
+//! features. Equality and ordering compare the hash first (one 128-bit
+//! compare); only a full 128-bit collision — never observed, and
+//! guarded anyway — falls through to the dense knob vector, so a cache
+//! probe does no formatting and no allocation.
+//!
+//! Key *equality* is bit-compatible with the retained string reference
+//! ([`ReferenceKey`]): `-0.0` and `0.0` knob values stay distinct (they
+//! rendered as `-0` vs `0`) and all NaN payloads collapse to one key
+//! (they all rendered as `NaN`). The one deliberate divergence: the
+//! string form conflated same-rendering values of different knob types
+//! (`Int(1)`, `Float(1.0)` and `Choice("1")` all printed `1`); the
+//! structural key tags the value variant, so those are now distinct
+//! keys. Within one design space a knob has a single type, so the
+//! conflation could never occur in practice — the property suite checks
+//! equivalence over typed spaces, where the two keys agree exactly.
 
 use crate::store::mix64;
-use antarex_tuner::Configuration;
-use std::collections::BTreeMap;
+use antarex_tuner::intern::SymbolId;
+use antarex_tuner::{Configuration, KnobValue};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Measured metrics of one design point (metric name → value).
 pub type Metrics = BTreeMap<String, f64>;
 
-/// Cache key: the canonical rendering of a configuration plus the
-/// workload features quantized to a fixed grid (micro-resolution), so
-/// float noise below 1e-6 does not defeat memoization.
+/// A knob value encoded for exact, totally-ordered comparison.
+///
+/// `Float` stores the raw bits (with every NaN canonicalized to one
+/// quiet NaN) so that key equality matches what the old string
+/// rendering distinguished: `-0.0 != 0.0`, `NaN == NaN`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum KnobBits {
+    Int(i64),
+    Float(u64),
+    Choice(SymbolId),
+}
+
+const CANONICAL_NAN: u64 = 0x7FF8_0000_0000_0000;
+
+impl KnobBits {
+    fn encode(value: &KnobValue) -> Self {
+        match value {
+            KnobValue::Int(v) => KnobBits::Int(*v),
+            KnobValue::Float(v) if v.is_nan() => KnobBits::Float(CANONICAL_NAN),
+            KnobValue::Float(v) => KnobBits::Float(v.to_bits()),
+            KnobValue::Choice(s) => KnobBits::Choice(antarex_tuner::intern::intern(s)),
+        }
+    }
+
+    /// Folds this value into a running hash lane with a variant tag, so
+    /// equal bit patterns of different variants cannot collide.
+    fn fold(self, h: u64) -> u64 {
+        match self {
+            KnobBits::Int(v) => mix64(mix64(h ^ 0xA1) ^ (v as u64)),
+            KnobBits::Float(bits) => mix64(mix64(h ^ 0xB2) ^ bits),
+            KnobBits::Choice(id) => mix64(mix64(h ^ 0xC3) ^ u64::from(id.index())),
+        }
+    }
+}
+
+/// Cache key: a 128-bit structural hash of the configuration and the
+/// workload features quantized to a fixed grid (micro-resolution, so
+/// float noise below 1e-6 does not defeat memoization), plus the dense
+/// knob vector the hash was computed from for collision verification.
+///
+/// Ordering is hash-first: `entries()` dumps and the coalescing map
+/// iterate in hash order, which is deterministic within a process but —
+/// like the hash itself — depends on symbol-interning order, so raw key
+/// order must never surface in output that is byte-compared across
+/// processes (reports print names, not keys).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct DesignKey {
-    config: String,
+    hash: u128,
+    knobs: Vec<(SymbolId, KnobBits)>,
     features: Vec<i64>,
+}
+
+impl Hash for DesignKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // the structural hash already covers every equality field
+        state.write_u128(self.hash);
+    }
 }
 
 impl DesignKey {
     /// Builds the key for a configuration evaluated under the given
-    /// workload features.
+    /// workload features. No allocation beyond the two dense vectors;
+    /// no string formatting.
     pub fn new(config: &Configuration, features: &[f64]) -> Self {
+        let knobs: Vec<(SymbolId, KnobBits)> = config
+            .entries()
+            .iter()
+            .map(|(id, value)| (*id, KnobBits::encode(value)))
+            .collect();
+        let features: Vec<i64> = features.iter().map(|&f| quantize(f)).collect();
+        // two independently-seeded 64-bit lanes make the 128-bit hash;
+        // a collision needs both lanes to agree
+        let mut lo = 0xcbf2_9ce4_8422_2325u64;
+        let mut hi = 0x9e37_79b9_7f4a_7c15u64;
+        for (id, bits) in &knobs {
+            lo = bits.fold(mix64(lo ^ u64::from(id.index())));
+            hi = bits.fold(mix64(hi ^ u64::from(id.index()).rotate_left(17)));
+        }
+        for q in &features {
+            lo = mix64(lo ^ (*q as u64));
+            hi = mix64(hi ^ (*q as u64).rotate_left(31));
+        }
         DesignKey {
+            hash: (u128::from(hi) << 64) | u128::from(lo),
+            knobs,
+            features,
+        }
+    }
+
+    /// Folds the key into a 64-bit value for shard selection — a pure
+    /// function of the structural hash, identical across lookups within
+    /// a run. (For the probe RNG seed, which must be stable across
+    /// processes, use [`probe_seed`] instead.)
+    pub fn seed(&self) -> u64 {
+        (self.hash >> 64) as u64 ^ self.hash as u64
+    }
+}
+
+/// The retained pre-optimization key: the canonical string rendering of
+/// the configuration plus quantized features. Kept as the executable
+/// reference the property suite and the p1 benchmark compare
+/// [`DesignKey`] against — not used on any serving path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReferenceKey {
+    config: String,
+    features: Vec<i64>,
+}
+
+impl ReferenceKey {
+    /// Builds the reference key by formatting the configuration.
+    pub fn new(config: &Configuration, features: &[f64]) -> Self {
+        ReferenceKey {
             config: config.to_string(),
             features: features.iter().map(|&f| quantize(f)).collect(),
         }
     }
 
-    /// Folds the key into a stable 64-bit hash (SplitMix64 over the
-    /// canonical rendering) — identical across runs and platforms, used
-    /// both for shard selection and as a probe seed.
+    /// The original SplitMix64 fold over the rendered configuration —
+    /// the historical `DesignKey::seed()`.
     pub fn seed(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for byte in self.config.as_bytes() {
@@ -48,6 +170,35 @@ impl DesignKey {
         }
         h
     }
+}
+
+/// Streams `Display` output through the historical seed fold without
+/// materializing the string.
+struct SeedWriter(u64);
+
+impl std::fmt::Write for SeedWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for byte in s.as_bytes() {
+            self.0 = mix64(self.0 ^ u64::from(*byte));
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic probe-RNG seed for evaluating `config` under
+/// `features` — byte-for-byte the value the old string-keyed
+/// `DesignKey::seed()` produced, so every seeded evaluation in the
+/// system reproduces its historical metrics exactly. Allocation-free:
+/// the configuration's `Display` output is folded as it streams.
+pub fn probe_seed(config: &Configuration, features: &[f64]) -> u64 {
+    use std::fmt::Write;
+    let mut writer = SeedWriter(0xcbf2_9ce4_8422_2325);
+    let _ = write!(writer, "{config}");
+    let mut h = writer.0;
+    for f in features {
+        h = mix64(h ^ (quantize(*f) as u64));
+    }
+    h
 }
 
 fn quantize(f: f64) -> i64 {
@@ -78,7 +229,7 @@ fn quantize(f: f64) -> i64 {
 /// ```
 #[derive(Debug)]
 pub struct DesignPointCache {
-    shards: Vec<Mutex<BTreeMap<DesignKey, Metrics>>>,
+    shards: Vec<Mutex<HashMap<DesignKey, Metrics>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     quarantined: AtomicU64,
@@ -93,7 +244,7 @@ impl DesignPointCache {
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "cache needs at least one shard");
         DesignPointCache {
-            shards: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
@@ -104,7 +255,7 @@ impl DesignPointCache {
         (key.seed() % self.shards.len() as u64) as usize
     }
 
-    fn lock(&self, index: usize) -> std::sync::MutexGuard<'_, BTreeMap<DesignKey, Metrics>> {
+    fn lock(&self, index: usize) -> std::sync::MutexGuard<'_, HashMap<DesignKey, Metrics>> {
         match self.shards[index].lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
@@ -282,5 +433,51 @@ mod tests {
         // quarantining an absent key is a no-op eviction but still counted
         cache.quarantine(&key);
         assert_eq!(cache.quarantined(), 2);
+    }
+
+    #[test]
+    fn probe_seed_matches_the_historical_string_fold() {
+        let mut c = Configuration::new();
+        c.set("unroll", KnobValue::Int(8));
+        c.set("alpha", KnobValue::Float(0.25));
+        c.set("variant", KnobValue::Choice("blocked".into()));
+        for features in [&[][..], &[1.5][..], &[f64::NAN, -3.0][..]] {
+            assert_eq!(
+                probe_seed(&c, features),
+                ReferenceKey::new(&c, features).seed(),
+                "probe_seed must reproduce the retained reference exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn key_equality_mirrors_the_string_reference() {
+        // -0.0 rendered as "-0": distinct key from 0.0
+        let mut neg = Configuration::new();
+        neg.set("alpha", KnobValue::Float(-0.0));
+        let mut pos = Configuration::new();
+        pos.set("alpha", KnobValue::Float(0.0));
+        assert_ne!(DesignKey::new(&neg, &[]), DesignKey::new(&pos, &[]));
+        assert_ne!(ReferenceKey::new(&neg, &[]), ReferenceKey::new(&pos, &[]));
+        // every NaN rendered as "NaN": one key
+        let mut nan_a = Configuration::new();
+        nan_a.set("alpha", KnobValue::Float(f64::NAN));
+        let mut nan_b = Configuration::new();
+        nan_b.set("alpha", KnobValue::Float(-f64::NAN));
+        assert_eq!(DesignKey::new(&nan_a, &[]), DesignKey::new(&nan_b, &[]));
+        assert_eq!(
+            ReferenceKey::new(&nan_a, &[]),
+            ReferenceKey::new(&nan_b, &[])
+        );
+    }
+
+    #[test]
+    fn variant_tags_separate_same_bits_across_types() {
+        let mut int1 = Configuration::new();
+        int1.set("k", KnobValue::Int(1));
+        let mut choice1 = Configuration::new();
+        choice1.set("k", KnobValue::Choice("1".into()));
+        // the string reference conflated these; the structural key must not
+        assert_ne!(DesignKey::new(&int1, &[]), DesignKey::new(&choice1, &[]));
     }
 }

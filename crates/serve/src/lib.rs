@@ -65,7 +65,7 @@ pub mod service;
 pub mod store;
 
 pub use breaker::{BreakerBank, BreakerConfig, CircuitBreaker};
-pub use cache::{DesignKey, DesignPointCache};
+pub use cache::{probe_seed, DesignKey, DesignPointCache, ReferenceKey};
 pub use chaos::{ChaosConfig, HedgePolicy};
 pub use error::ServeError;
 pub use journal::{Journal, JournalEntry, Snapshot};

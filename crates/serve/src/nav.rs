@@ -8,7 +8,7 @@
 //! itself, making it a pure function of (configuration, features) —
 //! the purity the pool and the cache demand.
 
-use crate::cache::DesignKey;
+use crate::cache::probe_seed;
 use crate::pool::Evaluation;
 use crate::service::Evaluator;
 use antarex_apps::nav::route::alternative_routes;
@@ -66,7 +66,8 @@ impl Evaluator for NavEvaluator {
         let spread = features.get(1).copied().unwrap_or(1.0).clamp(0.05, 1.0);
         // the probe's RNG is derived from the design key: identical
         // (config, features) pairs draw identical OD pairs forever
-        let mut rng = StdRng::seed_from_u64(DesignKey::new(config, features).seed());
+        // the historical string-fold seed, so metrics stay bit-identical
+        let mut rng = StdRng::seed_from_u64(probe_seed(config, features));
         let n = self.network.len();
         let reach = ((n as f64 * spread) as usize).max(2);
         let mut expanded_total = 0usize;

@@ -1,0 +1,108 @@
+//! Property suite for the structural design-point cache key.
+//!
+//! [`DesignKey`] replaced a formatted-string key with a precomputed
+//! structural hash. Over *typed* design spaces (each knob holds one
+//! value type — the only configurations the service ever builds) its
+//! equality must coincide exactly with the retained string reference
+//! ([`ReferenceKey`]): no false hits, no lost hits. And `probe_seed`
+//! must reproduce the historical string-fold seed bit-for-bit, because
+//! every seeded evaluator's metrics depend on it.
+
+use antarex_serve::{probe_seed, DesignKey, ReferenceKey};
+use antarex_tuner::{Configuration, KnobValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn random_case(rng: &mut StdRng) -> (Configuration, Vec<f64>) {
+    let mut config = Configuration::new();
+    config.set("unroll", KnobValue::Int(rng.gen_range(1..4)));
+    // floats drawn from a pool with the two edge cases the string
+    // rendering distinguishes (-0.0) and collapses (every NaN)
+    let alphas = [-0.0, 0.0, 0.25, 0.5, f64::NAN, -f64::NAN];
+    config.set(
+        "alpha",
+        KnobValue::Float(alphas[rng.gen_range(0..alphas.len())]),
+    );
+    let variants = ["scalar", "blocked", "simd"];
+    config.set(
+        "variant",
+        KnobValue::Choice(variants[rng.gen_range(0..variants.len())].to_string()),
+    );
+    if rng.gen_bool(0.3) {
+        config.set("extra", KnobValue::Int(rng.gen_range(0..2)));
+    }
+    let features: Vec<f64> = (0..rng.gen_range(0..3))
+        .map(|_| match rng.gen_range(0..6) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            // a coarse grid plus sub-quantum noise, so some pairs are
+            // equal only after quantization
+            _ => rng.gen_range(0..3) as f64 + rng.gen::<f64>() * 1e-9,
+        })
+        .collect();
+    (config, features)
+}
+
+#[test]
+fn structural_key_equality_coincides_with_the_string_reference() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let cases: Vec<(Configuration, Vec<f64>)> = (0..160).map(|_| random_case(&mut rng)).collect();
+    let hashed: Vec<DesignKey> = cases.iter().map(|(c, f)| DesignKey::new(c, f)).collect();
+    let reference: Vec<ReferenceKey> = cases.iter().map(|(c, f)| ReferenceKey::new(c, f)).collect();
+    for i in 0..cases.len() {
+        for j in i..cases.len() {
+            assert_eq!(
+                hashed[i] == hashed[j],
+                reference[i] == reference[j],
+                "keys {i} and {j} disagree with the reference:\n  {:?} / {:?}\n  {:?} / {:?}",
+                cases[i],
+                cases[j],
+                reference[i],
+                reference[j],
+            );
+        }
+    }
+}
+
+#[test]
+fn hashed_lookup_has_no_false_hits_or_misses() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let cases: Vec<(Configuration, Vec<f64>)> = (0..200).map(|_| random_case(&mut rng)).collect();
+    // map each string-reference class to the first index that minted it
+    let mut by_reference: HashMap<ReferenceKey, usize> = HashMap::new();
+    let mut by_hash: HashMap<DesignKey, usize> = HashMap::new();
+    for (i, (config, features)) in cases.iter().enumerate() {
+        let class = *by_reference
+            .entry(ReferenceKey::new(config, features))
+            .or_insert(i);
+        // a rebuilt structural key must land on exactly that class
+        match by_hash.entry(DesignKey::new(config, features)) {
+            std::collections::hash_map::Entry::Occupied(hit) => assert_eq!(
+                *hit.get(),
+                class,
+                "case {i} hit a different entry than the string reference"
+            ),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                assert_eq!(
+                    class, i,
+                    "case {i} missed but the string reference had seen it"
+                );
+                slot.insert(i);
+            }
+        }
+    }
+}
+
+#[test]
+fn probe_seed_reproduces_the_reference_seed_everywhere() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..300 {
+        let (config, features) = random_case(&mut rng);
+        assert_eq!(
+            probe_seed(&config, &features),
+            ReferenceKey::new(&config, &features).seed(),
+            "probe_seed diverged on {config} / {features:?}"
+        );
+    }
+}

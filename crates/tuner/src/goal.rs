@@ -1,5 +1,6 @@
 //! Objectives and constraints over measured metrics.
 
+use crate::intern::{intern, SymbolId};
 use std::fmt;
 
 /// Optimization direction.
@@ -12,32 +13,40 @@ pub enum Direction {
 }
 
 /// The tuning objective: one metric plus a direction.
+///
+/// The metric name is interned at construction, so the per-selection
+/// hot path compares a dense id instead of a string.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Objective {
-    metric: String,
+    metric: SymbolId,
     direction: Direction,
 }
 
 impl Objective {
     /// Minimizes `metric`.
-    pub fn minimize(metric: impl Into<String>) -> Self {
+    pub fn minimize(metric: impl AsRef<str>) -> Self {
         Objective {
-            metric: metric.into(),
+            metric: intern(metric.as_ref()),
             direction: Direction::Minimize,
         }
     }
 
     /// Maximizes `metric`.
-    pub fn maximize(metric: impl Into<String>) -> Self {
+    pub fn maximize(metric: impl AsRef<str>) -> Self {
         Objective {
-            metric: metric.into(),
+            metric: intern(metric.as_ref()),
             direction: Direction::Maximize,
         }
     }
 
     /// The metric name.
     pub fn metric(&self) -> &str {
-        &self.metric
+        self.metric.name()
+    }
+
+    /// The interned metric id.
+    pub fn metric_id(&self) -> SymbolId {
+        self.metric
     }
 
     /// The direction.
@@ -71,25 +80,25 @@ impl fmt::Display for Objective {
 /// A feasibility constraint on one metric.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Constraint {
-    metric: String,
+    metric: SymbolId,
     bound: f64,
     upper: bool,
 }
 
 impl Constraint {
     /// Requires `metric <= bound`.
-    pub fn at_most(metric: impl Into<String>, bound: f64) -> Self {
+    pub fn at_most(metric: impl AsRef<str>, bound: f64) -> Self {
         Constraint {
-            metric: metric.into(),
+            metric: intern(metric.as_ref()),
             bound,
             upper: true,
         }
     }
 
     /// Requires `metric >= bound`.
-    pub fn at_least(metric: impl Into<String>, bound: f64) -> Self {
+    pub fn at_least(metric: impl AsRef<str>, bound: f64) -> Self {
         Constraint {
-            metric: metric.into(),
+            metric: intern(metric.as_ref()),
             bound,
             upper: false,
         }
@@ -97,7 +106,12 @@ impl Constraint {
 
     /// The constrained metric.
     pub fn metric(&self) -> &str {
-        &self.metric
+        self.metric.name()
+    }
+
+    /// The interned metric id.
+    pub fn metric_id(&self) -> SymbolId {
+        self.metric
     }
 
     /// The bound.
@@ -158,5 +172,13 @@ mod tests {
         let mut c = Constraint::at_most("latency", 1.0);
         c.set_bound(2.0);
         assert!(c.satisfied_by(1.5));
+    }
+
+    #[test]
+    fn metric_ids_are_interned_once() {
+        let a = Objective::minimize("goal-test-metric");
+        let b = Constraint::at_most("goal-test-metric", 1.0);
+        assert_eq!(a.metric_id(), b.metric_id());
+        assert_eq!(a.metric(), "goal-test-metric");
     }
 }

@@ -46,6 +46,7 @@
 pub mod dse;
 pub mod features;
 pub mod goal;
+pub mod intern;
 pub mod knob;
 pub mod manager;
 pub mod model;
@@ -56,6 +57,7 @@ pub mod search;
 pub mod space;
 
 pub use goal::{Constraint, Objective};
+pub use intern::SymbolId;
 pub use knob::{Knob, KnobValue};
 pub use manager::AppManager;
 pub use point::{KnowledgeBase, OperatingPoint};

@@ -9,6 +9,7 @@
 //! the per-application "autotuning control loop" of the paper's Fig. 1.
 
 use crate::goal::{Constraint, Objective};
+use crate::intern::{intern, lookup, SymbolId};
 use crate::point::{KnowledgeBase, OperatingPoint};
 use crate::space::Configuration;
 use antarex_monitor::cada::Decision;
@@ -43,7 +44,7 @@ pub struct AppManager {
     objective: Objective,
     constraints: Vec<Constraint>,
     current: Option<Configuration>,
-    monitors: BTreeMap<String, TimeSeries>,
+    monitors: BTreeMap<SymbolId, TimeSeries>,
     learn_alpha: f64,
     switches: u64,
     last_adapt: f64,
@@ -120,13 +121,16 @@ impl AppManager {
     /// Selects the best feasible operating point and deploys it.
     /// Returns `None` when no point satisfies the constraints (SLA
     /// infeasible — the caller should escalate to the RTRM).
+    ///
+    /// When the winner is the configuration already deployed, nothing
+    /// is cloned — the steady-state re-selection path only compares.
     pub fn select(&mut self) -> Option<&Configuration> {
-        let best = self
+        let best = &self
             .knowledge
             .best(&self.objective, &self.constraints)?
-            .config
-            .clone();
-        if self.current.as_ref() != Some(&best) {
+            .config;
+        if self.current.as_ref() != Some(best) {
+            let best = best.clone();
             if self.current.is_some() {
                 self.switches += 1;
             }
@@ -136,17 +140,18 @@ impl AppManager {
     }
 
     /// Records a runtime measurement of `metric` for the *current*
-    /// configuration.
+    /// configuration. Series are keyed by interned id, so the
+    /// steady-state path (series already exists) allocates nothing.
     pub fn observe(&mut self, time: f64, metric: &str, value: f64) {
         self.monitors
-            .entry(metric.to_string())
+            .entry(intern(metric))
             .or_insert_with(|| TimeSeries::with_capacity(256))
             .push(time, value);
     }
 
     /// The monitor series for a metric, if any measurements arrived.
     pub fn monitor(&self, metric: &str) -> Option<&TimeSeries> {
-        self.monitors.get(metric)
+        self.monitors.get(&lookup(metric)?)
     }
 
     /// One adaptation round at time `now`: folds measurements since the
@@ -156,15 +161,16 @@ impl AppManager {
         let since = self.last_adapt;
         self.last_adapt = now;
         if let Some(current) = self.current.clone() {
-            let mut learned = BTreeMap::new();
-            for (metric, series) in &self.monitors {
-                if let Some(mean) = series.mean_since(since) {
-                    learned.insert(metric.clone(), mean);
-                }
-            }
+            let learned: Vec<(SymbolId, f64)> = self
+                .monitors
+                .iter()
+                .filter_map(|(&metric, series)| Some((metric, series.mean_since(since)?)))
+                .collect();
             if !learned.is_empty() {
-                self.knowledge
-                    .learn(OperatingPoint::new(current, learned), self.learn_alpha);
+                self.knowledge.learn(
+                    OperatingPoint::with_metric_ids(current, learned),
+                    self.learn_alpha,
+                );
             }
         }
         let previous = self.current.clone();

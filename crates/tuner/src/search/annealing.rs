@@ -13,6 +13,7 @@ pub struct Annealing {
     current: Option<(Configuration, f64)>,
     pending: Option<Configuration>,
     accept_draw: f64,
+    scratch: Vec<Configuration>,
 }
 
 impl Annealing {
@@ -38,6 +39,7 @@ impl Annealing {
             current: None,
             pending: None,
             accept_draw: 0.5,
+            scratch: Vec::new(),
         }
     }
 
@@ -64,8 +66,9 @@ impl SearchTechnique for Annealing {
         let next = match &self.current {
             None => space.sample(rng),
             Some((config, _)) => {
-                let neighbors = space.neighbors(config);
-                match neighbors.choose(rng) {
+                // neighbour buffer reused across proposals
+                space.neighbors_into(config, &mut self.scratch);
+                match self.scratch.choose(rng) {
                     Some(n) => n.clone(),
                     None => space.sample(rng),
                 }

@@ -46,7 +46,8 @@ impl HillClimb {
 
     fn refill_queue(&mut self, space: &DesignSpace, rng: &mut dyn RngCore) {
         let (config, _) = self.current.as_ref().expect("incumbent set");
-        self.queue = space.neighbors(config);
+        // reuse the queue's allocations across refills
+        space.neighbors_into(config, &mut self.queue);
         self.queue.shuffle(&mut CoreRng(rng));
     }
 }

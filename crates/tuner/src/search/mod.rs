@@ -13,6 +13,7 @@
 
 pub mod annealing;
 pub mod bandit;
+pub mod batch;
 pub mod exhaustive;
 pub mod genetic;
 pub mod hillclimb;

@@ -1,14 +1,34 @@
 //! The design space: cartesian product of knob domains.
 
+use crate::intern::{intern, lookup, SymbolId};
 use crate::knob::{Knob, KnobValue};
 use rand::Rng;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// One configuration: an assignment of a value to every knob.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Internally a small vector of `(SymbolId, KnobValue)` pairs kept
+/// sorted by knob *name* — iteration order, `Display` output, and
+/// equality are identical to the `BTreeMap<String, _>` representation
+/// this replaced, but lookups compare dense `u32` ids instead of
+/// strings and cloning copies no key strings.
+#[derive(Debug, PartialEq, Default)]
 pub struct Configuration {
-    values: BTreeMap<String, KnobValue>,
+    values: Vec<(SymbolId, KnobValue)>,
+}
+
+impl Clone for Configuration {
+    fn clone(&self) -> Self {
+        Configuration {
+            values: self.values.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // reuses the vector's allocation in hot loops (neighbour
+        // generation, population search)
+        self.values.clone_from(&source.values);
+    }
 }
 
 impl Configuration {
@@ -17,34 +37,73 @@ impl Configuration {
         Self::default()
     }
 
+    /// Creates an empty configuration with room for `knobs` assignments.
+    pub fn with_capacity(knobs: usize) -> Self {
+        Configuration {
+            values: Vec::with_capacity(knobs),
+        }
+    }
+
     /// Sets a knob value.
-    pub fn set(&mut self, knob: impl Into<String>, value: KnobValue) {
-        self.values.insert(knob.into(), value);
+    pub fn set(&mut self, knob: impl AsRef<str>, value: KnobValue) {
+        self.set_id(intern(knob.as_ref()), value);
+    }
+
+    /// Sets a knob value by pre-interned id (the allocation-free path
+    /// the [`DesignSpace`] enumeration and search inner loops use).
+    pub fn set_id(&mut self, id: SymbolId, value: KnobValue) {
+        for entry in &mut self.values {
+            if entry.0 == id {
+                entry.1 = value;
+                return;
+            }
+        }
+        let name = id.name();
+        let at = self
+            .values
+            .iter()
+            .position(|(other, _)| other.name() > name)
+            .unwrap_or(self.values.len());
+        self.values.insert(at, (id, value));
     }
 
     /// Gets a knob value.
     pub fn get(&self, knob: &str) -> Option<&KnobValue> {
-        self.values.get(knob)
+        self.get_id(lookup(knob)?)
+    }
+
+    /// Gets a knob value by pre-interned id.
+    pub fn get_id(&self, id: SymbolId) -> Option<&KnobValue> {
+        self.values
+            .iter()
+            .find(|(other, _)| *other == id)
+            .map(|(_, v)| v)
     }
 
     /// Integer value of a knob.
     pub fn get_int(&self, knob: &str) -> Option<i64> {
-        self.values.get(knob)?.as_int()
+        self.get(knob)?.as_int()
     }
 
     /// Float value of a knob (ints promote).
     pub fn get_float(&self, knob: &str) -> Option<f64> {
-        self.values.get(knob)?.as_float()
+        self.get(knob)?.as_float()
     }
 
     /// Choice value of a knob.
     pub fn get_choice(&self, knob: &str) -> Option<&str> {
-        self.values.get(knob)?.as_choice()
+        self.get(knob)?.as_choice()
     }
 
     /// Iterates over `(knob, value)` pairs in knob-name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &KnobValue)> {
-        self.values.iter().map(|(k, v)| (k.as_str(), v))
+        self.values.iter().map(|(k, v)| (k.name(), v))
+    }
+
+    /// The raw `(id, value)` entries in knob-name order — the dense view
+    /// structural hashing and cache keys are built from.
+    pub fn entries(&self) -> &[(SymbolId, KnobValue)] {
+        &self.values
     }
 
     /// Number of assigned knobs.
@@ -73,9 +132,11 @@ impl fmt::Display for Configuration {
 
 impl FromIterator<(String, KnobValue)> for Configuration {
     fn from_iter<I: IntoIterator<Item = (String, KnobValue)>>(iter: I) -> Self {
-        Configuration {
-            values: iter.into_iter().collect(),
+        let mut config = Configuration::new();
+        for (name, value) in iter {
+            config.set(name, value);
         }
+        config
     }
 }
 
@@ -96,6 +157,7 @@ impl FromIterator<(String, KnobValue)> for Configuration {
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpace {
     knobs: Vec<Knob>,
+    ids: Vec<SymbolId>,
 }
 
 impl DesignSpace {
@@ -110,12 +172,18 @@ impl DesignSpace {
                 assert!(a.name() != b.name(), "duplicate knob `{}`", a.name());
             }
         }
-        DesignSpace { knobs }
+        let ids = knobs.iter().map(|k| intern(k.name())).collect();
+        DesignSpace { knobs, ids }
     }
 
     /// The knobs, in declaration order.
     pub fn knobs(&self) -> &[Knob] {
         &self.knobs
+    }
+
+    /// The knobs' interned ids, parallel to [`knobs`](Self::knobs).
+    pub fn knob_ids(&self) -> &[SymbolId] {
+        &self.ids
     }
 
     /// Looks up a knob by name.
@@ -139,21 +207,30 @@ impl DesignSpace {
 
     /// Uniformly samples one configuration.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Configuration {
-        self.knobs
-            .iter()
-            .map(|k| {
-                let index = rng.gen_range(0..k.cardinality());
-                (k.name().to_string(), k.value_at(index))
-            })
-            .collect()
+        let mut config = Configuration::with_capacity(self.knobs.len());
+        for (knob, &id) in self.knobs.iter().zip(&self.ids) {
+            let index = rng.gen_range(0..knob.cardinality());
+            config.set_id(id, knob.value_at(index));
+        }
+        config
     }
 
     /// All single-knob neighbours of a configuration (one knob moved one
     /// step up or down its domain; choices move to adjacent entries).
     pub fn neighbors(&self, config: &Configuration) -> Vec<Configuration> {
         let mut out = Vec::new();
-        for knob in &self.knobs {
-            let Some(value) = config.get(knob.name()) else {
+        self.neighbors_into(config, &mut out);
+        out
+    }
+
+    /// Writes the neighbours of `config` into `out`, reusing its
+    /// existing `Configuration` allocations — the buffer local search
+    /// loops keep across iterations instead of reallocating every
+    /// refill. Order is identical to [`neighbors`](Self::neighbors).
+    pub fn neighbors_into(&self, config: &Configuration, out: &mut Vec<Configuration>) {
+        let mut used = 0;
+        for (knob, &id) in self.knobs.iter().zip(&self.ids) {
+            let Some(value) = config.get_id(id) else {
                 continue;
             };
             let Some(index) = knob.index_of(value) else {
@@ -162,24 +239,28 @@ impl DesignSpace {
             for delta in [-1i64, 1] {
                 let j = index as i64 + delta;
                 if j >= 0 && (j as usize) < knob.cardinality() {
-                    let mut next = config.clone();
-                    next.set(knob.name(), knob.value_at(j as usize));
-                    out.push(next);
+                    if used < out.len() {
+                        out[used].clone_from(config);
+                    } else {
+                        out.push(config.clone());
+                    }
+                    out[used].set_id(id, knob.value_at(j as usize));
+                    used += 1;
                 }
             }
         }
-        out
+        out.truncate(used);
     }
 
     /// Returns `true` if the configuration assigns an admissible value to
     /// every knob (and nothing else).
     pub fn contains(&self, config: &Configuration) -> bool {
         config.len() == self.knobs.len()
-            && self.knobs.iter().all(|k| {
-                config
-                    .get(k.name())
-                    .is_some_and(|v| k.index_of(v).is_some())
-            })
+            && self
+                .knobs
+                .iter()
+                .zip(&self.ids)
+                .all(|(k, &id)| config.get_id(id).is_some_and(|v| k.index_of(v).is_some()))
     }
 
     /// Grey-box annotation: returns a space with one knob's domain shrunk
@@ -203,7 +284,10 @@ impl DesignSpace {
             .collect();
         let found = self.knobs.iter().any(|k| k.name() == knob);
         assert!(found, "no knob named `{knob}`");
-        DesignSpace { knobs }
+        DesignSpace {
+            knobs,
+            ids: self.ids.clone(),
+        }
     }
 
     /// The `index`-th configuration in row-major order (mixed-radix
@@ -214,23 +298,24 @@ impl DesignSpace {
     /// Panics if `index >= size()`.
     pub fn config_at(&self, mut index: u128) -> Configuration {
         assert!(index < self.size(), "configuration index out of range");
-        let mut values = Vec::with_capacity(self.knobs.len());
-        for knob in self.knobs.iter().rev() {
+        let mut config = Configuration::with_capacity(self.knobs.len());
+        for (knob, &id) in self.knobs.iter().zip(&self.ids).rev() {
             let card = knob.cardinality() as u128;
             let digit = (index % card) as usize;
             index /= card;
-            values.push((knob.name().to_string(), knob.value_at(digit)));
+            config.set_id(id, knob.value_at(digit));
         }
-        values.into_iter().collect()
+        config
     }
 
     /// The configuration at the centre of every domain (a reasonable
     /// starting point for local search).
     pub fn center(&self) -> Configuration {
-        self.knobs
-            .iter()
-            .map(|k| (k.name().to_string(), k.value_at(k.cardinality() / 2)))
-            .collect()
+        let mut config = Configuration::with_capacity(self.knobs.len());
+        for (knob, &id) in self.knobs.iter().zip(&self.ids) {
+            config.set_id(id, knob.value_at(knob.cardinality() / 2));
+        }
+        config
     }
 }
 
@@ -249,13 +334,16 @@ impl Iterator for SpaceIter<'_> {
         if self.done {
             return None;
         }
-        let config: Configuration = self
+        let mut config = Configuration::with_capacity(self.space.knobs.len());
+        for ((knob, &id), &i) in self
             .space
             .knobs
             .iter()
+            .zip(&self.space.ids)
             .zip(&self.indexes)
-            .map(|(k, &i)| (k.name().to_string(), k.value_at(i)))
-            .collect();
+        {
+            config.set_id(id, knob.value_at(i));
+        }
         // odometer increment
         let mut carry = true;
         for (i, knob) in self.space.knobs.iter().enumerate().rev() {
@@ -341,6 +429,23 @@ mod tests {
     }
 
     #[test]
+    fn neighbors_into_reuses_and_matches_neighbors() {
+        let s = space();
+        let mut config = Configuration::new();
+        config.set("unroll", KnobValue::Int(2));
+        config.set("variant", KnobValue::Choice("a".into()));
+        // oversized, stale buffer: must be overwritten and truncated
+        let mut buffer = vec![s.center(); 7];
+        s.neighbors_into(&config, &mut buffer);
+        assert_eq!(buffer, s.neighbors(&config));
+        // undersized buffer: must grow
+        config.set("unroll", KnobValue::Int(3));
+        buffer.truncate(1);
+        s.neighbors_into(&config, &mut buffer);
+        assert_eq!(buffer, s.neighbors(&config));
+    }
+
+    #[test]
     fn contains_rejects_bad_configs() {
         let s = space();
         let mut config = Configuration::new();
@@ -380,6 +485,28 @@ mod tests {
         c.set("b", KnobValue::Int(1));
         c.set("a", KnobValue::Choice("x".into()));
         assert_eq!(c.to_string(), "{a=x, b=1}");
+    }
+
+    #[test]
+    fn entries_are_name_sorted_and_overwritable() {
+        let mut c = Configuration::new();
+        c.set("zeta", KnobValue::Int(1));
+        c.set("alpha", KnobValue::Int(2));
+        c.set("mid", KnobValue::Int(3));
+        let names: Vec<&str> = c.entries().iter().map(|(id, _)| id.name()).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+        c.set("mid", KnobValue::Int(9));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get_int("mid"), Some(9));
+    }
+
+    #[test]
+    fn get_by_id_matches_get_by_name() {
+        let s = space();
+        let c = s.center();
+        for (&id, knob) in s.knob_ids().iter().zip(s.knobs()) {
+            assert_eq!(c.get_id(id), c.get(knob.name()));
+        }
     }
 
     #[test]
