@@ -30,6 +30,7 @@
 //! | s1 | §II    | autotuning-as-a-service: multi-tenant scaling, pool speedup, memoization |
 //! | r2 | —      | chaos hardening: goodput under faults, breaker containment, crash recovery |
 //! | p1 | —      | hot-path data plane: indexed select, structural cache keys, parallel DSE |
+//! | o1 | —      | observability plane: worker-invariant traces, dual accounting, SLO burn |
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -38,6 +39,7 @@ pub mod ablations;
 pub mod chaos_exp;
 pub mod claims;
 pub mod figures;
+pub mod obs_exp;
 pub mod resiliency;
 pub mod serve_exp;
 pub mod tuner_exp;
@@ -156,6 +158,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "hot-path data plane — indexed select, structural keys, parallel DSE",
             run: tuner_exp::p1_hot_path_report,
         },
+        Experiment {
+            id: "o1",
+            title: "observability plane — worker-invariant traces, dual accounting, SLO burn",
+            run: obs_exp::o1_observability,
+        },
     ]
 }
 
@@ -227,7 +234,7 @@ mod tests {
                 assert_ne!(a.id, b.id);
             }
         }
-        assert_eq!(experiments.len(), 20);
+        assert_eq!(experiments.len(), 21);
     }
 
     #[test]

@@ -138,6 +138,16 @@ impl SlaReport {
             self.violations as f64 / self.checked as f64
         }
     }
+
+    /// Error-budget burn rate against a target good fraction:
+    /// `violation_rate / (1 − target)`. A burn of 1 consumes the budget
+    /// exactly at the sustainable pace; above 1 exhausts it early. The
+    /// target is clamped into `[0, 1 − 1e-9]` so the budget is never
+    /// zero.
+    pub fn burn_rate(&self, target: f64) -> f64 {
+        let budget = 1.0 - target.clamp(0.0, 1.0 - 1e-9);
+        self.violation_rate() / budget
+    }
 }
 
 impl fmt::Display for SlaReport {
@@ -193,6 +203,26 @@ mod tests {
         assert!(!sla.satisfied_by(0.8));
         sla.set_threshold(1.0);
         assert!(sla.satisfied_by(0.8));
+    }
+
+    #[test]
+    fn burn_rate_scales_violation_rate_by_budget() {
+        let report = SlaReport {
+            checked: 1000,
+            violations: 1,
+        };
+        // 0.1% violations against a 99.9% target: burning at exactly 1×
+        assert!((report.burn_rate(0.999) - 1.0).abs() < 1e-9);
+        // same violations against a 99.99% target: 10× over budget
+        assert!((report.burn_rate(0.9999) - 10.0).abs() < 1e-6);
+        // a perfect record burns nothing at any target
+        let clean = SlaReport {
+            checked: 50,
+            violations: 0,
+        };
+        assert_eq!(clean.burn_rate(0.999), 0.0);
+        // target 1.0 is clamped, not a division by zero
+        assert!(report.burn_rate(1.0).is_finite());
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! # antarex-obs — deterministic observability plane
+//!
+//! The ANTAREX stack is built around a monitoring loop: observe
+//! extra-functional metrics, feed them back into knob selection. This
+//! crate turns that lens on the stack itself — one place where cache
+//! hits, breaker trips, chaos retries, select/learn spans, power-cap
+//! decisions, and per-tenant SLO burn all land, replacing the ad-hoc
+//! atomics and stat structs that previously drifted across `serve` and
+//! `tuner`.
+//!
+//! Three pillars:
+//!
+//! * **Metrics** ([`metrics`]): counters, gauges, and log-bucketed
+//!   histograms ([`hist`], p50/p95/p99/p999 with a provable ≤ 2.47%
+//!   relative error) in a [`MetricsRegistry`] keyed by interned names.
+//!   Handles are shared atomics — the instrumented module and the
+//!   exposition read the same cell.
+//! * **Spans** ([`span`]): hierarchical regions on **virtual
+//!   timestamps** in a fixed-capacity ring buffer, folded into
+//!   flamegraph format. Span times record work content, not queue
+//!   placement, so traces are byte-identical at any worker count.
+//! * **SLO burn** ([`slo`]): per-tenant error-budget burn rates over
+//!   [`antarex_monitor::sla`].
+//!
+//! Everything is allocation-light on the hot path (atomic increments
+//! and one mutex-guarded slot write) and deterministic on the read
+//! path: snapshots, expositions, and folds are sorted by resolved
+//! names, never by racy interning order. The determinism contract is
+//! split by [`Scope`]: `Invariant` metrics (event counts) are
+//! byte-identical across worker counts on the fault-free path;
+//! `Timing` metrics (virtual latencies, makespans) are deterministic
+//! per worker count. Experiment `o1` in `crates/bench` enforces both.
+
+pub mod export;
+pub mod hist;
+pub mod metrics;
+pub mod slo;
+pub mod span;
+
+pub use export::{burn_exposition, exposition, json_dump};
+pub use hist::{Histogram, Snapshot as HistSnapshot, STANDARD_QUANTILES};
+pub use metrics::{Counter, Gauge, MetricKey, MetricSnapshot, MetricValue, MetricsRegistry, Scope};
+pub use slo::{BurnRow, SloBank};
+pub use span::{SpanId, SpanRecord, Tracer};
+
+/// A complete observability plane: one registry, one tracer, one SLO
+/// bank. Modules take cheap handles out of it at wiring time and touch
+/// only atomics afterwards.
+#[derive(Debug)]
+pub struct ObsPlane {
+    /// The metric registry.
+    pub registry: MetricsRegistry,
+    /// The span ring buffer.
+    pub tracer: Tracer,
+    /// Per-tenant SLO burn tracking.
+    pub slo: SloBank,
+}
+
+impl ObsPlane {
+    /// A plane retaining `span_capacity` spans and tracking SLOs
+    /// against `slo_target` (target good fraction, e.g. `0.999`).
+    pub fn new(span_capacity: usize, slo_target: f64) -> Self {
+        ObsPlane {
+            registry: MetricsRegistry::new(),
+            tracer: Tracer::new(span_capacity),
+            slo: SloBank::new(slo_target),
+        }
+    }
+
+    /// Full exposition: every metric (both scopes) plus SLO burn rows.
+    pub fn exposition(&self) -> String {
+        let mut out = export::exposition(&self.registry.snapshot(None));
+        out.push_str(&export::burn_exposition(&self.slo.burn_rates()));
+        out
+    }
+
+    /// Exposition restricted to [`Scope::Invariant`] metrics — the
+    /// subset that must be byte-identical across worker counts on the
+    /// fault-free path. SLO burn rows are included when they derive
+    /// from invariant counts alone; here they are *excluded* because
+    /// burn is checked against virtual latencies (timing-scoped).
+    pub fn invariant_exposition(&self) -> String {
+        export::exposition(&self.registry.snapshot(Some(Scope::Invariant)))
+    }
+}
+
+impl Default for ObsPlane {
+    /// 4096 retained spans, 99.9% SLO target.
+    fn default() -> Self {
+        ObsPlane::new(4096, 0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_exposition_combines_metrics_and_burn() {
+        let plane = ObsPlane::new(16, 0.99);
+        plane
+            .registry
+            .counter("plane-test_requests_total", Scope::Invariant)
+            .add(3);
+        plane.slo.check_upper(1, "latency", 1.0, 0.0, 2.0);
+        let text = plane.exposition();
+        assert!(text.contains("plane-test_requests_total 3"));
+        assert!(text.contains("slo_burn_rate{tenant=\"1\",objective=\"latency\"}"));
+    }
+
+    #[test]
+    fn invariant_exposition_excludes_timing_and_burn() {
+        let plane = ObsPlane::new(16, 0.99);
+        plane
+            .registry
+            .counter("plane-test_inv_total", Scope::Invariant)
+            .inc();
+        plane
+            .registry
+            .histogram("plane-test_latency_seconds", Scope::Timing)
+            .record(0.5);
+        plane.slo.check_upper(1, "latency", 1.0, 0.0, 2.0);
+        let text = plane.invariant_exposition();
+        assert!(text.contains("plane-test_inv_total 1"));
+        assert!(!text.contains("plane-test_latency_seconds"));
+        assert!(!text.contains("slo_burn_rate"));
+    }
+}

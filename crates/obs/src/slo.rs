@@ -1,0 +1,177 @@
+//! Per-tenant SLO burn-rate tracking over [`antarex_monitor::sla`].
+//!
+//! An SLO sets a *target* fraction of good events (e.g. `0.999`); the
+//! complement is the error budget. The **burn rate** is how fast a
+//! tenant is consuming that budget:
+//!
+//! ```text
+//! burn = violation_rate / (1 − target)
+//! ```
+//!
+//! `burn == 1` means the budget is being consumed exactly at the
+//! sustainable pace; `burn > 1` means the tenant will exhaust its
+//! budget early — the standard multi-window alerting signal. The bank
+//! wraps one [`Sla`] per `(tenant, objective)` pair so the serving
+//! layer can check every response against per-tenant objectives and
+//! export burn rates next to the metric plane.
+
+use antarex_monitor::sla::{Sla, SlaReport};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One tenant's burn-rate reading for one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnRow {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Objective name.
+    pub objective: String,
+    /// Violation summary backing the rate.
+    pub report: SlaReport,
+    /// `violation_rate / (1 − target)`.
+    pub burn: f64,
+}
+
+/// Per-tenant SLO bank: registers objectives lazily and accumulates
+/// violation records deterministically (storage is ordered by
+/// `(tenant, objective)`, so iteration and exposition order never
+/// depend on insertion order).
+pub struct SloBank {
+    /// Target good fraction in `[0, 1)`, shared by all objectives.
+    target: f64,
+    slos: Mutex<BTreeMap<(u64, String), Sla>>,
+}
+
+impl SloBank {
+    /// A bank with the given target good fraction (clamped into
+    /// `[0, 1 − 1e-9]` so the error budget can never be zero).
+    pub fn new(target: f64) -> Self {
+        SloBank {
+            target: target.clamp(0.0, 1.0 - 1e-9),
+            slos: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The configured target good fraction.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Checks `value` against the tenant's upper-bound objective,
+    /// creating it at `threshold` on first use. Returns `true` when
+    /// the objective is met. The threshold is fixed at registration;
+    /// later calls ignore the argument (SLAs renegotiate explicitly,
+    /// not implicitly per measurement).
+    pub fn check_upper(
+        &self,
+        tenant: u64,
+        objective: &str,
+        threshold: f64,
+        time_s: f64,
+        value: f64,
+    ) -> bool {
+        let mut slos = match self.slos.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let sla = slos
+            .entry((tenant, objective.to_string()))
+            .or_insert_with(|| Sla::upper_bound(objective, threshold));
+        sla.check(time_s, value)
+    }
+
+    /// Burn-rate rows for every registered `(tenant, objective)`,
+    /// in `(tenant, objective)` order.
+    pub fn burn_rates(&self) -> Vec<BurnRow> {
+        let slos = match self.slos.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        slos.iter()
+            .map(|((tenant, objective), sla)| {
+                let report = sla.report();
+                BurnRow {
+                    tenant: *tenant,
+                    objective: objective.clone(),
+                    report,
+                    burn: report.burn_rate(self.target),
+                }
+            })
+            .collect()
+    }
+
+    /// Number of registered `(tenant, objective)` pairs.
+    pub fn len(&self) -> usize {
+        match self.slos.lock() {
+            Ok(guard) => guard.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// `true` when no objective has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for SloBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloBank")
+            .field("target", &self.target)
+            .field("objectives", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_of_one_consumes_budget_at_pace() {
+        let bank = SloBank::new(0.99); // 1% budget
+        for i in 0..100 {
+            // exactly 1 violation in 100 checks
+            let value = if i == 7 { 2.0 } else { 0.5 };
+            bank.check_upper(1, "latency", 1.0, i as f64, value);
+        }
+        let rows = bank.burn_rates();
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].burn - 1.0).abs() < 1e-12);
+        assert_eq!(rows[0].report.violations, 1);
+    }
+
+    #[test]
+    fn heavy_violations_burn_fast() {
+        let bank = SloBank::new(0.999);
+        for i in 0..10 {
+            bank.check_upper(2, "latency", 1.0, i as f64, 5.0); // all violate
+        }
+        let burn = bank.burn_rates()[0].burn;
+        assert!(
+            (burn - 1000.0).abs() < 1e-9,
+            "100% violations / 0.1% budget"
+        );
+    }
+
+    #[test]
+    fn rows_are_ordered_by_tenant_then_objective() {
+        let bank = SloBank::new(0.99);
+        bank.check_upper(9, "zz", 1.0, 0.0, 0.5);
+        bank.check_upper(1, "power", 1.0, 0.0, 0.5);
+        bank.check_upper(1, "latency", 1.0, 0.0, 0.5);
+        let rows = bank.burn_rates();
+        let keys: Vec<(u64, &str)> = rows
+            .iter()
+            .map(|row| (row.tenant, row.objective.as_str()))
+            .collect();
+        assert_eq!(keys, vec![(1, "latency"), (1, "power"), (9, "zz")]);
+    }
+
+    #[test]
+    fn clean_tenant_has_zero_burn() {
+        let bank = SloBank::new(0.999);
+        bank.check_upper(4, "latency", 1.0, 0.0, 0.2);
+        assert_eq!(bank.burn_rates()[0].burn, 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Hierarchical spans on virtual timestamps.
+//!
+//! A span is one completed region of work — a request, a cache probe,
+//! an evaluation — with a parent pointer, a tenant, and `[start, end]`
+//! in **virtual seconds**. Because the serving stack schedules on
+//! virtual time (PR 2), every timestamp here is a pure function of the
+//! workload, so a trace is byte-identical run-to-run; the span model
+//! additionally records *work content* rather than queue placement
+//! (e.g. an eval span covers the probe's cost, not its slot on a
+//! worker), which makes traces invariant across worker counts too.
+//!
+//! Spans land in a fixed-capacity ring buffer: recording is one
+//! mutex-protected slot write, no allocation after construction, and
+//! the oldest spans are overwritten on wraparound — bounded memory no
+//! matter how long the service runs.
+//!
+//! [`Tracer::folded`] aggregates the ring into folded-stack lines
+//! (`root;child;leaf <weight>`), the input format of flamegraph
+//! tooling; weights are per-span *self* time in integer nanoseconds so
+//! the fold is exactly reproducible.
+
+use antarex_tuner::intern::{intern, SymbolId};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Identifier of a recorded span. `SpanId(0)` means "no parent".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The "no parent" sentinel.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// `true` for the root sentinel.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One completed region of work on the virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// This span's id (monotone from 1 in record order).
+    pub id: SpanId,
+    /// Enclosing span, or [`SpanId::NONE`].
+    pub parent: SpanId,
+    /// Interned span name.
+    pub name: SymbolId,
+    /// Owning tenant, if tenant-scoped.
+    pub tenant: Option<u64>,
+    /// Virtual start time (seconds).
+    pub start_s: f64,
+    /// Virtual end time (seconds), `>= start_s`.
+    pub end_s: f64,
+}
+
+impl SpanRecord {
+    /// Span duration in virtual seconds.
+    pub fn duration_s(&self) -> f64 {
+        (self.end_s - self.start_s).max(0.0)
+    }
+}
+
+struct Ring {
+    slots: Vec<SpanRecord>,
+    capacity: usize,
+    head: usize,
+    recorded: u64,
+    next_id: u64,
+}
+
+/// Fixed-capacity span recorder (see module docs).
+pub struct Tracer {
+    ring: Mutex<Ring>,
+}
+
+impl Tracer {
+    /// A tracer keeping the most recent `capacity` spans (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Tracer {
+            ring: Mutex::new(Ring {
+                slots: Vec::with_capacity(capacity),
+                capacity,
+                head: 0,
+                recorded: 0,
+                next_id: 1,
+            }),
+        }
+    }
+
+    /// Records a completed span and returns its id for use as a
+    /// child's `parent`. `end_s` is clamped up to `start_s` so a
+    /// malformed interval can never produce negative durations.
+    pub fn record(
+        &self,
+        name: &str,
+        tenant: Option<u64>,
+        parent: SpanId,
+        start_s: f64,
+        end_s: f64,
+    ) -> SpanId {
+        let record = SpanRecord {
+            id: SpanId::NONE, // assigned under the lock
+            parent,
+            name: intern(name),
+            tenant,
+            start_s,
+            end_s: end_s.max(start_s),
+        };
+        let mut ring = match self.ring.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let id = SpanId(ring.next_id);
+        ring.next_id += 1;
+        ring.recorded += 1;
+        let record = SpanRecord { id, ..record };
+        if ring.slots.len() < ring.capacity {
+            ring.slots.push(record);
+        } else {
+            let head = ring.head;
+            ring.slots[head] = record;
+        }
+        ring.head = (ring.head + 1) % ring.capacity;
+        id
+    }
+
+    /// Total spans ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        match self.ring.lock() {
+            Ok(guard) => guard.recorded,
+            Err(poisoned) => poisoned.into_inner().recorded,
+        }
+    }
+
+    /// Spans currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        match self.ring.lock() {
+            Ok(guard) => guard.slots.len(),
+            Err(poisoned) => poisoned.into_inner().slots.len(),
+        }
+    }
+
+    /// `true` when no span has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retained spans in record order (oldest first).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let ring = match self.ring.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut out = ring.slots.clone();
+        out.sort_by_key(|span| span.id);
+        out
+    }
+
+    /// Folded-stack aggregation of the retained spans.
+    ///
+    /// Each span contributes its *self* time — duration minus the summed
+    /// durations of its retained children, clamped at zero — under the
+    /// path `root;...;name`, weighted in integer nanoseconds. Spans
+    /// whose parent was evicted from the ring are treated as roots.
+    /// Lines are sorted by path, so the fold is a deterministic
+    /// function of the retained span set.
+    pub fn folded(&self) -> Vec<(String, u64)> {
+        let spans = self.spans();
+        let by_id: BTreeMap<SpanId, &SpanRecord> =
+            spans.iter().map(|span| (span.id, span)).collect();
+        let mut child_time: BTreeMap<SpanId, f64> = BTreeMap::new();
+        for span in &spans {
+            if !span.parent.is_none() && by_id.contains_key(&span.parent) {
+                *child_time.entry(span.parent).or_insert(0.0) += span.duration_s();
+            }
+        }
+        let mut folds: BTreeMap<String, u64> = BTreeMap::new();
+        for span in &spans {
+            let mut path = vec![span.name.name()];
+            let mut cursor = span.parent;
+            while let Some(parent) = by_id.get(&cursor) {
+                path.push(parent.name.name());
+                cursor = parent.parent;
+            }
+            path.reverse();
+            let self_s =
+                (span.duration_s() - child_time.get(&span.id).copied().unwrap_or(0.0)).max(0.0);
+            let weight = (self_s * 1e9).round() as u64;
+            *folds.entry(path.join(";")).or_insert(0) += weight;
+        }
+        folds.into_iter().collect()
+    }
+
+    /// Renders [`folded`](Tracer::folded) as newline-separated
+    /// `path weight` lines — the flamegraph input format.
+    pub fn folded_text(&self) -> String {
+        let mut out = String::new();
+        for (path, weight) in self.folded() {
+            out.push_str(&path);
+            out.push(' ');
+            out.push_str(&weight.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("retained", &self.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_assign_monotone_ids() {
+        let tracer = Tracer::new(8);
+        let a = tracer.record("req", None, SpanId::NONE, 0.0, 1.0);
+        let b = tracer.record("eval", Some(3), a, 0.2, 0.8);
+        assert!(b > a);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].parent, a);
+        assert_eq!(spans[1].tenant, Some(3));
+    }
+
+    #[test]
+    fn malformed_interval_is_clamped() {
+        let tracer = Tracer::new(4);
+        tracer.record("bad", None, SpanId::NONE, 5.0, 1.0);
+        assert_eq!(tracer.spans()[0].duration_s(), 0.0);
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_spans() {
+        let tracer = Tracer::new(3);
+        for i in 0..7 {
+            tracer.record("s", None, SpanId::NONE, i as f64, i as f64 + 1.0);
+        }
+        assert_eq!(tracer.len(), 3);
+        assert_eq!(tracer.recorded(), 7);
+        let ids: Vec<u64> = tracer.spans().iter().map(|span| span.id.0).collect();
+        assert_eq!(ids, vec![5, 6, 7], "oldest spans are overwritten");
+    }
+
+    #[test]
+    fn folded_self_time_subtracts_children() {
+        let tracer = Tracer::new(8);
+        let root = tracer.record("request", None, SpanId::NONE, 0.0, 1.0);
+        tracer.record("select", None, root, 0.0, 0.25);
+        tracer.record("eval", None, root, 0.25, 0.75);
+        let folds = tracer.folded();
+        let as_map: BTreeMap<&str, u64> = folds.iter().map(|(p, w)| (p.as_str(), *w)).collect();
+        assert_eq!(as_map["request"], 250_000_000, "1.0 − 0.25 − 0.5 self");
+        assert_eq!(as_map["request;select"], 250_000_000);
+        assert_eq!(as_map["request;eval"], 500_000_000);
+    }
+
+    #[test]
+    fn evicted_parent_makes_orphan_a_root() {
+        let tracer = Tracer::new(1);
+        let parent = tracer.record("parent", None, SpanId::NONE, 0.0, 2.0);
+        tracer.record("child", None, parent, 0.0, 1.0); // evicts parent
+        let folds = tracer.folded();
+        assert_eq!(folds.len(), 1);
+        assert_eq!(folds[0].0, "child", "orphan folds as a root");
+    }
+
+    #[test]
+    fn folded_text_is_sorted_lines() {
+        let tracer = Tracer::new(8);
+        tracer.record("zeta", None, SpanId::NONE, 0.0, 1e-9);
+        tracer.record("alpha", None, SpanId::NONE, 0.0, 2e-9);
+        assert_eq!(tracer.folded_text(), "alpha 2\nzeta 1\n");
+    }
+}

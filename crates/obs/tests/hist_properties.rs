@@ -1,0 +1,219 @@
+//! Property tests for the log-bucketed histogram and the span ring.
+//!
+//! The histogram's accuracy contract says: for any quantile `q`, the
+//! estimate sits within `√γ − 1` relative error of the **exact**
+//! rank-`⌈q·n⌉` sorted-slice quantile, whenever that exact sample is a
+//! positive finite value in `[MIN_VALUE, MAX_VALUE)`; below the range
+//! the estimate is `0.0`, at/above it `+inf`, and NaN never
+//! participates. These tests drive adversarial sample sets — heavy
+//! tails, many-decade log-uniform spreads, constants, boundary values,
+//! denormals, and NaN/±inf mixtures — against an exact sorted-slice
+//! oracle.
+
+use antarex_obs::hist::{relative_error_bound, Histogram, MAX_VALUE, MIN_VALUE};
+use antarex_obs::span::{SpanId, Tracer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exact rank-`⌈q·n⌉` quantile over the non-NaN samples, using the
+/// same rank convention as `Histogram::quantile`.
+fn exact_quantile(samples: &[f64], q: f64) -> Option<f64> {
+    let mut clean: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
+    if clean.is_empty() {
+        return None;
+    }
+    clean.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = clean.len() as u64;
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+    Some(clean[(rank - 1) as usize])
+}
+
+/// Checks the accuracy contract for every probe quantile.
+fn assert_contract(samples: &[f64], label: &str) {
+    let hist = Histogram::new();
+    for &v in samples {
+        hist.record(v);
+    }
+    // tiny slack for ln() rounding at bucket boundaries
+    let bound = relative_error_bound() * (1.0 + 1e-9) + 1e-12;
+    for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+        let exact = exact_quantile(samples, q);
+        let estimate = hist.quantile(q);
+        match exact {
+            None => assert_eq!(estimate, None, "{label}: empty input must yield None"),
+            Some(v) if v < MIN_VALUE => {
+                assert_eq!(
+                    estimate,
+                    Some(0.0),
+                    "{label}: q={q}, exact {v} underflows but estimate was {estimate:?}"
+                );
+            }
+            Some(v) if v >= MAX_VALUE => {
+                assert_eq!(
+                    estimate,
+                    Some(f64::INFINITY),
+                    "{label}: q={q}, exact {v} overflows but estimate was {estimate:?}"
+                );
+            }
+            Some(v) => {
+                let e = estimate
+                    .unwrap_or_else(|| panic!("{label}: q={q} estimate missing for exact {v}"));
+                let rel = (e - v).abs() / v;
+                assert!(
+                    rel <= bound,
+                    "{label}: q={q}, exact {v}, estimate {e}, rel err {rel:.6} > {bound:.6}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn uniform_samples_satisfy_the_bound() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..2000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        assert_contract(&samples, &format!("uniform/{seed}"));
+    }
+}
+
+#[test]
+fn log_uniform_across_decades_satisfies_the_bound() {
+    // spans from deep underflow (1e-12) to overflow (1e16)
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| 10f64.powf(rng.gen_range(-12.0..16.0)))
+            .collect();
+        assert_contract(&samples, &format!("log-uniform/{seed}"));
+    }
+}
+
+#[test]
+fn heavy_tail_satisfies_the_bound() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-6..1.0);
+                1e-6 * u.powf(-3.0) // pareto-ish: most mass tiny, huge spikes
+            })
+            .collect();
+        assert_contract(&samples, &format!("heavy-tail/{seed}"));
+    }
+}
+
+#[test]
+fn constants_and_tiny_sets_satisfy_the_bound() {
+    assert_contract(&[0.125], "single");
+    assert_contract(&[1.0; 500], "constant");
+    assert_contract(&[1e-4, 1e-4, 3.0], "near-constant");
+    assert_contract(&[], "empty");
+}
+
+#[test]
+fn bucket_boundary_values_satisfy_the_bound() {
+    // values engineered to sit exactly on (or within ulps of) bucket
+    // edges, where ln() rounding is most dangerous
+    let gamma: f64 = 1.05;
+    let mut samples = Vec::new();
+    for k in 0..700 {
+        samples.push(MIN_VALUE * gamma.powi(k));
+        samples.push(MIN_VALUE * gamma.powi(k) * (1.0 + 1e-15));
+        samples.push(MIN_VALUE * gamma.powi(k) * (1.0 - 1e-15));
+    }
+    assert_contract(&samples, "bucket-boundaries");
+}
+
+#[test]
+fn nan_inf_zero_negative_mixture_satisfies_the_contract() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let samples: Vec<f64> = (0..3000)
+            .map(|_| match rng.gen_range(0..10u64) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                4 => -rng.gen_range::<f64, _>(0.0..10.0),
+                5 => 1e-310,                    // denormal → underflow
+                6 => rng.gen_range(1e14..1e16), // straddles MAX_VALUE
+                _ => rng.gen_range(1e-6..10.0), // ordinary
+            })
+            .collect();
+        assert_contract(&samples, &format!("mixture/{seed}"));
+
+        // NaN accounting: excluded from count, counted separately
+        let hist = Histogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let nan_expected = samples.iter().filter(|v| v.is_nan()).count() as u64;
+        let snap = hist.snapshot();
+        assert_eq!(snap.nan, nan_expected);
+        assert_eq!(snap.count + snap.nan, samples.len() as u64);
+    }
+}
+
+#[test]
+fn snapshot_sum_matches_exact_sum() {
+    let mut rng = StdRng::seed_from_u64(400);
+    let samples: Vec<f64> = (0..1000).map(|_| rng.gen_range(0.0..5.0)).collect();
+    let hist = Histogram::new();
+    for &v in &samples {
+        hist.record(v);
+    }
+    let exact: f64 = samples.iter().sum();
+    let got = hist.snapshot().sum;
+    assert!(
+        (got - exact).abs() <= 1e-9 * exact.abs().max(1.0),
+        "sum drifted: {got} vs {exact}"
+    );
+}
+
+#[test]
+fn ring_wraparound_retains_exactly_the_newest_spans() {
+    for (capacity, total) in [(1usize, 10u64), (7, 7), (7, 8), (16, 1000), (64, 65)] {
+        let tracer = Tracer::new(capacity);
+        for i in 0..total {
+            tracer.record("probe", Some(i % 3), SpanId::NONE, i as f64, i as f64 + 0.5);
+        }
+        assert_eq!(tracer.recorded(), total);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), capacity.min(total as usize));
+        let first_retained = total - spans.len() as u64 + 1;
+        for (offset, span) in spans.iter().enumerate() {
+            assert_eq!(
+                span.id.0,
+                first_retained + offset as u64,
+                "capacity {capacity}, total {total}: retained window is the newest suffix"
+            );
+        }
+    }
+}
+
+#[test]
+fn folded_output_survives_wraparound_with_nested_spans() {
+    let tracer = Tracer::new(8);
+    for batch in 0..50u64 {
+        let t0 = batch as f64;
+        let root = tracer.record("batch", None, SpanId::NONE, t0, t0 + 1.0);
+        let req = tracer.record("request", Some(batch % 4), root, t0, t0 + 0.8);
+        tracer.record("select", Some(batch % 4), req, t0, t0 + 0.1);
+        tracer.record("eval", Some(batch % 4), req, t0 + 0.1, t0 + 0.7);
+    }
+    let folds = tracer.folded();
+    assert!(!folds.is_empty());
+    let total: u64 = folds.iter().map(|(_, w)| w).sum();
+    assert!(total > 0, "weights must be positive after wraparound");
+    // deterministic across identical replays
+    let tracer2 = Tracer::new(8);
+    for batch in 0..50u64 {
+        let t0 = batch as f64;
+        let root = tracer2.record("batch", None, SpanId::NONE, t0, t0 + 1.0);
+        let req = tracer2.record("request", Some(batch % 4), root, t0, t0 + 0.8);
+        tracer2.record("select", Some(batch % 4), req, t0, t0 + 0.1);
+        tracer2.record("eval", Some(batch % 4), req, t0 + 0.1, t0 + 0.7);
+    }
+    assert_eq!(tracer.folded_text(), tracer2.folded_text());
+}

@@ -6,7 +6,82 @@
 //! "maximum power budget that can be allocated to a specific computation"
 //! from §IV.
 
+use antarex_obs::{Counter, Gauge, MetricsRegistry, Scope};
 use antarex_sim::node::Node;
+
+/// Observability handles for power-cap decisions, registered on the
+/// shared metric plane. The capping policy is unchanged; these
+/// wrappers only make its decisions visible — how often the budget is
+/// split, how many splits were refused for lack of alive nodes, how
+/// often enforcement actually clamped a node, and the current
+/// budget/demand/granted levels.
+#[derive(Debug, Clone)]
+pub struct PowercapObs {
+    splits: Counter,
+    splits_refused: Counter,
+    clamps: Counter,
+    budget_w: Gauge,
+    demand: Gauge,
+    granted_w: Gauge,
+}
+
+impl PowercapObs {
+    /// Registers the power-cap metrics on `registry` (idempotent: a
+    /// second registration returns handles onto the same cells).
+    /// Counters are [`Scope::Invariant`] — split and clamp decisions
+    /// are pure functions of the workload, not of worker scheduling.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        PowercapObs {
+            splits: registry.counter("rtrm_power_splits_total", Scope::Invariant),
+            splits_refused: registry.counter("rtrm_power_splits_refused_total", Scope::Invariant),
+            clamps: registry.counter("rtrm_pstate_clamps_total", Scope::Invariant),
+            budget_w: registry.gauge("rtrm_power_budget_watts", Scope::Invariant),
+            demand: registry.gauge("rtrm_power_demand_weight", Scope::Invariant),
+            granted_w: registry.gauge("rtrm_power_granted_watts", Scope::Invariant),
+        }
+    }
+
+    /// Budget splits performed.
+    pub fn splits(&self) -> u64 {
+        self.splits.get()
+    }
+
+    /// Splits refused because no node was alive to receive the budget.
+    pub fn splits_refused(&self) -> u64 {
+        self.splits_refused.get()
+    }
+
+    /// Enforcement calls that actually lowered a node's P-state.
+    pub fn clamps(&self) -> u64 {
+        self.clamps.get()
+    }
+}
+
+/// [`try_weighted_split`] with its decision recorded on `obs`: the
+/// attempted budget and summed finite demand land in gauges, a refusal
+/// (empty alive set) bumps the refusal counter, and a successful split
+/// records the granted total (= budget, conservation).
+pub fn try_weighted_split_observed(
+    budget_w: f64,
+    weights: &[f64],
+    obs: &PowercapObs,
+) -> Option<Vec<f64>> {
+    obs.budget_w.set(budget_w);
+    let demand: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    obs.demand.set(demand);
+    match try_weighted_split(budget_w, weights) {
+        Some(split) => {
+            obs.splits.inc();
+            obs.granted_w.set(split.iter().sum());
+            Some(split)
+        }
+        None => {
+            obs.splits_refused.inc();
+            obs.granted_w.set(0.0);
+            None
+        }
+    }
+}
 
 /// Estimates the node's full-activity power at a P-state index, at the
 /// node's present temperature (the quantity a RAPL controller regulates).
@@ -70,6 +145,19 @@ impl PowerCapper {
             node.set_pstate(admissible);
         }
         node.pstate_index()
+    }
+
+    /// [`enforce`](PowerCapper::enforce) with the decision recorded on
+    /// `obs`: counts the enforcement as a clamp only when the node's
+    /// P-state was actually lowered.
+    pub fn enforce_observed(&self, node: &mut Node, obs: &PowercapObs) -> usize {
+        let before = node.pstate_index();
+        let chosen = self.enforce(node);
+        if chosen < before {
+            obs.clamps.inc();
+        }
+        obs.budget_w.set(self.cap_w);
+        chosen
     }
 }
 
@@ -233,5 +321,51 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cap_rejected() {
         let _ = PowerCapper::new(0.0);
+    }
+
+    #[test]
+    fn observed_split_matches_unobserved_and_counts_decisions() {
+        let registry = MetricsRegistry::new();
+        let obs = PowercapObs::register(&registry);
+        let weights = [3.0, 1.0, f64::NAN];
+        let observed = try_weighted_split_observed(1000.0, &weights, &obs).expect("three nodes");
+        assert_eq!(
+            observed,
+            try_weighted_split(1000.0, &weights).unwrap(),
+            "observation must not change the policy"
+        );
+        assert_eq!(obs.splits(), 1);
+        assert_eq!(obs.splits_refused(), 0);
+        // empty alive set: refused, not split
+        assert_eq!(try_weighted_split_observed(1000.0, &[], &obs), None);
+        assert_eq!(obs.splits(), 1);
+        assert_eq!(obs.splits_refused(), 1);
+    }
+
+    #[test]
+    fn observed_enforce_counts_only_real_clamps() {
+        let registry = MetricsRegistry::new();
+        let obs = PowercapObs::register(&registry);
+        let mut node = Node::nominal(NodeSpec::cineca_xeon(), 0);
+        node.set_pstate(node.spec().pstates.max_index());
+        let tight = PowerCapper::new(estimated_power_w(&node, 1));
+        tight.enforce_observed(&mut node, &obs);
+        assert_eq!(obs.clamps(), 1, "a lowering counts");
+        tight.enforce_observed(&mut node, &obs);
+        assert_eq!(obs.clamps(), 1, "already-admissible node is not a clamp");
+    }
+
+    #[test]
+    fn observed_metrics_appear_on_the_registry() {
+        let registry = MetricsRegistry::new();
+        let obs = PowercapObs::register(&registry);
+        try_weighted_split_observed(500.0, &[1.0, 1.0], &obs);
+        let exposition = antarex_obs::exposition(&registry.snapshot(None));
+        assert!(
+            exposition.contains("rtrm_power_splits_total 1"),
+            "{exposition}"
+        );
+        assert!(exposition.contains("rtrm_power_budget_watts 500"));
+        assert!(exposition.contains("rtrm_power_granted_watts 500"));
     }
 }

@@ -18,6 +18,7 @@
 //! breaker trips are as reproducible as everything else in the stack.
 
 use crate::store::TenantId;
+use antarex_obs::Counter;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
@@ -195,18 +196,34 @@ impl CircuitBreaker {
 
 /// The service's breaker bank: one breaker per tenant, created lazily,
 /// behind a single mutex (breaker updates are tiny compared to probes).
+///
+/// The bank keeps the total trip count in a shareable [`Counter`]: per-
+/// tenant trips live on each [`CircuitBreaker`] (they are part of the
+/// crash-recovery snapshot), and every trip observed inside
+/// [`with`](BreakerBank::with) is mirrored onto the counter, so the
+/// metric registry and [`total_trips`](BreakerBank::total_trips) read
+/// the same cell instead of re-summing the map.
 #[derive(Debug)]
 pub struct BreakerBank {
     config: BreakerConfig,
     breakers: Mutex<BTreeMap<TenantId, CircuitBreaker>>,
+    trips: Counter,
 }
 
 impl BreakerBank {
-    /// An empty bank; breakers materialize on first touch.
+    /// An empty bank; breakers materialize on first touch. The trip
+    /// counter is standalone (not yet visible on any registry).
     pub fn new(config: BreakerConfig) -> Self {
+        Self::with_trip_counter(config, Counter::new())
+    }
+
+    /// An empty bank whose aggregate trip count lands in the given
+    /// counter handle — typically one registered on a metric registry.
+    pub fn with_trip_counter(config: BreakerConfig, trips: Counter) -> Self {
         BreakerBank {
             config,
             breakers: Mutex::new(BTreeMap::new()),
+            trips,
         }
     }
 
@@ -216,12 +233,20 @@ impl BreakerBank {
     }
 
     /// Runs `f` on the tenant's breaker (creating it closed if absent).
+    /// Trips that happen inside `f` are mirrored onto the bank's trip
+    /// counter.
     pub fn with<R>(&self, tenant: TenantId, f: impl FnOnce(&mut CircuitBreaker) -> R) -> R {
         let mut breakers = self.breakers.lock().expect("breaker bank poisoned");
         let breaker = breakers
             .entry(tenant)
             .or_insert_with(|| CircuitBreaker::new(self.config));
-        f(breaker)
+        let trips_before = breaker.trips();
+        let result = f(breaker);
+        let tripped = breaker.trips() - trips_before;
+        if tripped > 0 {
+            self.trips.add(tripped);
+        }
+        result
     }
 
     /// Snapshot of every tenant's breaker, sorted by tenant id.
@@ -230,19 +255,23 @@ impl BreakerBank {
         breakers.iter().map(|(&t, &b)| (t, b)).collect()
     }
 
-    /// Restores the bank to an exact prior state (crash recovery).
+    /// Restores the bank to an exact prior state (crash recovery),
+    /// syncing the trip counter to the restored per-breaker totals.
     pub fn restore(&self, states: &[(TenantId, CircuitBreaker)]) {
         let mut breakers = self.breakers.lock().expect("breaker bank poisoned");
         breakers.clear();
         for &(tenant, breaker) in states {
             breakers.insert(tenant, breaker);
         }
+        self.trips.store(breakers.values().map(|b| b.trips()).sum());
     }
 
-    /// Total circuit trips across all tenants.
+    /// Total circuit trips across all tenants — a read of the shared
+    /// trip counter, which [`with`](BreakerBank::with) and
+    /// [`restore`](BreakerBank::restore) keep equal to the sum of
+    /// per-breaker trips.
     pub fn total_trips(&self) -> u64 {
-        let breakers = self.breakers.lock().expect("breaker bank poisoned");
-        breakers.values().map(|b| b.trips()).sum()
+        self.trips.get()
     }
 }
 
@@ -341,6 +370,34 @@ mod tests {
         assert!(!restored.with(7, |b| b.allow(2.0)));
         assert!(restored.with(8, |b| b.allow(2.0)));
         assert_eq!(restored.snapshot(), snapshot);
+    }
+
+    #[test]
+    fn bank_trip_counter_mirrors_per_breaker_trips() {
+        let config = BreakerConfig {
+            failure_threshold: 1,
+            cooldown_s: 10.0,
+            half_open_successes: 1,
+        };
+        let registry = antarex_obs::MetricsRegistry::new();
+        let counter = registry.counter("breaker-test_trips_total", antarex_obs::Scope::Invariant);
+        let bank = BreakerBank::with_trip_counter(config, counter.clone());
+        bank.with(1, |b| b.on_failure(0.0));
+        bank.with(2, |b| b.on_failure(0.0));
+        assert_eq!(counter.get(), 2, "registry sees every trip");
+        assert_eq!(bank.total_trips(), 2);
+
+        // restore syncs the counter to the snapshot's totals
+        let snapshot = bank.snapshot();
+        let other = BreakerBank::with_trip_counter(
+            config,
+            registry.counter(
+                "breaker-test_trips_restored_total",
+                antarex_obs::Scope::Invariant,
+            ),
+        );
+        other.restore(&snapshot);
+        assert_eq!(other.total_trips(), 2);
     }
 
     #[test]

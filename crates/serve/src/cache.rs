@@ -5,7 +5,10 @@
 //! configuration on the same kind of input, the second answer is a
 //! lookup, not a re-evaluation. Entries are sharded like the session
 //! store so concurrent readers contend only per shard; hit/miss counts
-//! are lock-free atomics.
+//! are lock-free [`Counter`] handles that can be shared with the
+//! metric registry ([`DesignPointCache::with_counters`]), so the
+//! cache's accessors and the observability plane read the same cells
+//! rather than maintaining duplicate tallies.
 //!
 //! # Key representation
 //!
@@ -31,11 +34,11 @@
 //! equivalence over typed spaces, where the two keys agree exactly.
 
 use crate::store::mix64;
+use antarex_obs::Counter;
 use antarex_tuner::intern::SymbolId;
 use antarex_tuner::{Configuration, KnobValue};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Measured metrics of one design point (metric name → value).
@@ -230,24 +233,42 @@ fn quantize(f: f64) -> i64 {
 #[derive(Debug)]
 pub struct DesignPointCache {
     shards: Vec<Mutex<HashMap<DesignKey, Metrics>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    quarantined: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    quarantined: Counter,
 }
 
 impl DesignPointCache {
-    /// Creates a cache with the given shard count.
+    /// Creates a cache with the given shard count and standalone
+    /// counters (not yet visible on any registry).
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
     pub fn new(shards: usize) -> Self {
+        Self::with_counters(shards, Counter::new(), Counter::new(), Counter::new())
+    }
+
+    /// Creates a cache whose hit/miss/quarantine accounting lands in
+    /// the given counter handles — typically handles registered on a
+    /// metric registry, making the registry and the cache's accessors
+    /// two views of the same cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_counters(
+        shards: usize,
+        hits: Counter,
+        misses: Counter,
+        quarantined: Counter,
+    ) -> Self {
         assert!(shards > 0, "cache needs at least one shard");
         DesignPointCache {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            quarantined: AtomicU64::new(0),
+            hits,
+            misses,
+            quarantined,
         }
     }
 
@@ -266,8 +287,8 @@ impl DesignPointCache {
     pub fn get(&self, key: &DesignKey) -> Option<Metrics> {
         let found = self.lock(self.shard_of(key)).get(key).cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
         };
         found
     }
@@ -281,7 +302,7 @@ impl DesignPointCache {
     /// coalesced onto an evaluation already in flight is served by the
     /// memo table even though the entry has not been filled yet.
     pub fn note_coalesced_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
     }
 
     /// Quarantines a design point whose evaluation failed or came back
@@ -292,8 +313,8 @@ impl DesignPointCache {
     /// quarantine counter records the incident.
     pub fn quarantine(&self, key: &DesignKey) {
         self.lock(self.shard_of(key)).remove(key);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
+        self.quarantined.inc();
     }
 
     /// Every cached entry in key order — the deterministic dump the
@@ -319,17 +340,17 @@ impl DesignPointCache {
 
     /// Lookups that found an entry.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lookups that missed.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Design points quarantined after failed or corrupted evaluations.
     pub fn quarantined(&self) -> u64 {
-        self.quarantined.load(Ordering::Relaxed)
+        self.quarantined.get()
     }
 
     /// Hit fraction over all lookups so far (0 when none happened).
@@ -433,6 +454,31 @@ mod tests {
         // quarantining an absent key is a no-op eviction but still counted
         cache.quarantine(&key);
         assert_eq!(cache.quarantined(), 2);
+    }
+
+    #[test]
+    fn registry_counters_and_accessors_read_the_same_cells() {
+        let registry = antarex_obs::MetricsRegistry::new();
+        let hits = registry.counter("cache-test_hits_total", antarex_obs::Scope::Invariant);
+        let misses = registry.counter("cache-test_misses_total", antarex_obs::Scope::Invariant);
+        let quarantined = registry.counter(
+            "cache-test_quarantined_total",
+            antarex_obs::Scope::Invariant,
+        );
+        let cache = DesignPointCache::with_counters(4, hits.clone(), misses, quarantined);
+        let key = DesignKey::new(&config(1), &[1.0]);
+        cache.get(&key); // miss
+        cache.insert(key.clone(), metrics(0.1));
+        cache.get(&key); // hit
+        cache.quarantine(&key);
+        assert_eq!(cache.hits(), hits.get(), "accessor is a registry view");
+        let exposition = antarex_obs::exposition(&registry.snapshot(None));
+        assert!(
+            exposition.contains("cache-test_hits_total 1"),
+            "{exposition}"
+        );
+        assert!(exposition.contains("cache-test_misses_total 2"));
+        assert!(exposition.contains("cache-test_quarantined_total 1"));
     }
 
     #[test]

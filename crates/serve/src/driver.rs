@@ -212,25 +212,34 @@ pub fn arrivals(config: &DriverConfig) -> Vec<TuningRequest> {
     events
 }
 
+/// Snapshot of the serving counters a drive derives its stats from.
+fn counter_snapshot<E: Evaluator>(service: &TuningService<E>) -> [u64; 10] {
+    let obs = service.obs();
+    [
+        obs.requests.get(),
+        obs.served.get(),
+        obs.shed.get(),
+        obs.rejected.get(),
+        obs.failed.get(),
+        obs.cache_hit_responses.get(),
+        obs.evaluated.get(),
+        obs.retries.get(),
+        obs.hedges.get(),
+        obs.cache_quarantined.get(),
+    ]
+}
+
 /// Drives the service with the configured workload: arrivals are
 /// chunked into batch windows and served window by window.
+///
+/// Counts come from the service's metrics registry — the drive loop
+/// keeps no parallel tallies, so the run's stats and the exposition can
+/// never drift apart. Counter deltas are taken across the run, making
+/// the stats correct even on a service that already served traffic.
 pub fn drive<E: Evaluator>(service: &TuningService<E>, config: &DriverConfig) -> DriveStats {
     let events = arrivals(config);
-    let mut stats = DriveStats {
-        requests: events.len(),
-        served: 0,
-        shed: 0,
-        rejected: 0,
-        failed: 0,
-        cache_hits: 0,
-        evaluated: 0,
-        retries: 0,
-        hedges: 0,
-        quarantined: 0,
-        busy_s: 0.0,
-        mean_latency_s: 0.0,
-        p95_latency_s: 0.0,
-    };
+    let base = counter_snapshot(service);
+    let mut busy_s = 0.0;
     let mut latencies: Vec<f64> = Vec::new();
     let mut start = 0;
     let mut window_end = config.batch_window_s;
@@ -245,33 +254,29 @@ pub fn drive<E: Evaluator>(service: &TuningService<E>, config: &DriverConfig) ->
             continue;
         }
         let report = service.serve_batch(&events[start..end]);
-        stats.busy_s += report.makespan_s;
-        stats.evaluated += report.evaluated;
-        stats.shed += report.shed;
-        stats.retries += report.retries;
-        stats.hedges += report.hedges;
-        stats.quarantined += report.quarantined;
-        for response in &report.responses {
-            use crate::error::ServeError;
-            match response {
-                Ok(answer) => {
-                    stats.served += 1;
-                    if answer.cache_hit {
-                        stats.cache_hits += 1;
-                    }
-                    latencies.push(answer.latency_s);
-                }
-                Err(ServeError::Shed { .. }) => {}
-                Err(
-                    ServeError::WorkerFailed { .. }
-                    | ServeError::Deadline
-                    | ServeError::CircuitOpen { .. },
-                ) => stats.failed += 1,
-                Err(_) => stats.rejected += 1,
-            }
+        busy_s += report.makespan_s;
+        for answer in report.responses.iter().flatten() {
+            latencies.push(answer.latency_s);
         }
         start = end;
     }
+    let now = counter_snapshot(service);
+    let delta = |i: usize| now[i] - base[i];
+    let mut stats = DriveStats {
+        requests: delta(0) as usize,
+        served: delta(1) as usize,
+        shed: delta(2) as usize,
+        rejected: delta(3) as usize,
+        failed: delta(4) as usize,
+        cache_hits: delta(5) as usize,
+        evaluated: delta(6) as usize,
+        retries: delta(7),
+        hedges: delta(8),
+        quarantined: delta(9),
+        busy_s,
+        mean_latency_s: 0.0,
+        p95_latency_s: 0.0,
+    };
     if !latencies.is_empty() {
         stats.mean_latency_s = latencies.iter().sum::<f64>() / latencies.len() as f64;
         latencies.sort_by(f64::total_cmp);

@@ -30,6 +30,11 @@
 //! * [`journal`] — **crash-recoverable sessions**: a write-ahead
 //!   journal of state deltas plus Daly-cadenced snapshots, with replay
 //!   proven bit-identical to the uninterrupted run;
+//! * [`obs`] — the **observability plane**: every serving-path counter,
+//!   histogram, span, and SLO burn check flows through one
+//!   [`ObsPlane`](antarex_obs::ObsPlane), with traces recorded on
+//!   virtual work content so they are byte-identical at any worker
+//!   count;
 //! * [`driver`] — the deterministic **virtual-time request driver**:
 //!   seeded per-tenant Poisson arrivals merged into batch windows;
 //! * [`nav`] — the navigation use case wired through the service as a
@@ -60,6 +65,7 @@ pub mod driver;
 pub mod error;
 pub mod journal;
 pub mod nav;
+pub mod obs;
 pub mod pool;
 pub mod service;
 pub mod store;
@@ -69,6 +75,7 @@ pub use cache::{probe_seed, DesignKey, DesignPointCache, ReferenceKey};
 pub use chaos::{ChaosConfig, HedgePolicy};
 pub use error::ServeError;
 pub use journal::{Journal, JournalEntry, Snapshot};
+pub use obs::ServeObs;
 pub use pool::{EvalPool, PoolConfig};
 pub use service::{
     BatchReport, Evaluator, ResilienceConfig, ServiceConfig, TuningRequest, TuningResponse,

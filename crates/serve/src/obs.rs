@@ -1,0 +1,148 @@
+//! The service's observability wiring: every serving-path metric,
+//! span, and SLO check goes through one [`ServeObs`] plane.
+//!
+//! Counter handles registered here are handed to the modules that own
+//! the events — the design-point cache, the breaker bank — so there is
+//! exactly one cell per fact; the exposition and the module accessors
+//! are two views of it. The span model records **work content** on
+//! virtual timestamps (a probe's cost, a cache lookup's nominal cost),
+//! never queue placement, so traces are byte-identical at any worker
+//! count; queueing shows up only in the `Timing`-scoped latency and
+//! makespan histograms.
+
+use antarex_obs::{Counter, Histogram, ObsPlane, Scope};
+use antarex_rtrm::powercap::PowercapObs;
+
+/// Nominal virtual width of a `select` span: PR 4's measured indexed
+/// feasibility-select cost (26 ns). Purely a trace annotation — it
+/// never feeds back into any serving metric.
+pub const SELECT_SPAN_S: f64 = 26e-9;
+
+/// Nominal virtual width of a `cache_probe` span.
+pub const CACHE_PROBE_SPAN_S: f64 = 40e-9;
+
+/// Nominal virtual width of a `learn` (observe feedback) span.
+pub const LEARN_SPAN_S: f64 = 50e-9;
+
+/// Nominal virtual width of an `adapt` round span.
+pub const ADAPT_SPAN_S: f64 = 100e-9;
+
+/// Default per-tenant latency SLO threshold (virtual seconds) — the
+/// navigation workload's standard 0.5 s answer budget.
+pub const DEFAULT_SLO_LATENCY_S: f64 = 0.5;
+
+/// Default SLO target good fraction (99.9%).
+pub const DEFAULT_SLO_TARGET: f64 = 0.999;
+
+/// Default span-ring capacity.
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+/// The serving stack's observability plane plus every pre-registered
+/// instrument handle the hot path touches. Handles are shared atomics:
+/// incrementing one here is the same cell the exposition reads.
+#[derive(Debug)]
+pub struct ServeObs {
+    pub(crate) plane: ObsPlane,
+    pub(crate) requests: Counter,
+    pub(crate) served: Counter,
+    pub(crate) shed: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) failed: Counter,
+    pub(crate) cache_hit_responses: Counter,
+    pub(crate) evaluated: Counter,
+    pub(crate) retries: Counter,
+    pub(crate) hedges: Counter,
+    pub(crate) selects: Counter,
+    pub(crate) learns: Counter,
+    pub(crate) adapts: Counter,
+    pub(crate) breaker_trips: Counter,
+    pub(crate) cache_hits: Counter,
+    pub(crate) cache_misses: Counter,
+    pub(crate) cache_quarantined: Counter,
+    pub(crate) powercap: PowercapObs,
+    pub(crate) latency: Histogram,
+    pub(crate) makespan: Histogram,
+    pub(crate) slo_latency_s: f64,
+}
+
+impl ServeObs {
+    /// Builds the plane and registers every serving metric.
+    ///
+    /// All counts are [`Scope::Invariant`] — on the fault-free path
+    /// they are pure functions of the workload, independent of the
+    /// pool's worker count. The latency and makespan histograms are
+    /// [`Scope::Timing`]: they summarize the virtual schedule, which
+    /// legitimately depends on how many virtual cores serve it.
+    pub fn new(span_capacity: usize, slo_target: f64, slo_latency_s: f64) -> Self {
+        let plane = ObsPlane::new(span_capacity, slo_target);
+        let reg = &plane.registry;
+        let inv = Scope::Invariant;
+        ServeObs {
+            requests: reg.counter("serve_requests_total", inv),
+            served: reg.counter("serve_served_total", inv),
+            shed: reg.counter("serve_shed_total", inv),
+            rejected: reg.counter("serve_rejected_total", inv),
+            failed: reg.counter("serve_failed_total", inv),
+            cache_hit_responses: reg.counter("serve_cache_hit_responses_total", inv),
+            evaluated: reg.counter("serve_evaluated_total", inv),
+            retries: reg.counter("serve_retries_total", inv),
+            hedges: reg.counter("serve_hedges_total", inv),
+            selects: reg.counter("serve_selects_total", inv),
+            learns: reg.counter("serve_learns_total", inv),
+            adapts: reg.counter("serve_adapts_total", inv),
+            breaker_trips: reg.counter("serve_breaker_trips_total", inv),
+            cache_hits: reg.counter("serve_cache_hits_total", inv),
+            cache_misses: reg.counter("serve_cache_misses_total", inv),
+            cache_quarantined: reg.counter("serve_cache_quarantined_total", inv),
+            powercap: PowercapObs::register(reg),
+            latency: reg.histogram("serve_latency_seconds", Scope::Timing),
+            makespan: reg.histogram("serve_makespan_seconds", Scope::Timing),
+            slo_latency_s,
+            plane,
+        }
+    }
+
+    /// The underlying plane (registry + tracer + SLO bank).
+    pub fn plane(&self) -> &ObsPlane {
+        &self.plane
+    }
+
+    /// Full exposition: every metric plus SLO burn rows.
+    pub fn exposition(&self) -> String {
+        self.plane.exposition()
+    }
+
+    /// Exposition restricted to worker-count-invariant metrics — the
+    /// byte-diffable subset of the o1 determinism contract.
+    pub fn invariant_exposition(&self) -> String {
+        self.plane.invariant_exposition()
+    }
+
+    /// Folded-stack rendering of the retained span ring.
+    pub fn folded_trace(&self) -> String {
+        self.plane.tracer.folded_text()
+    }
+
+    /// The latency SLO threshold checked per served response.
+    pub fn slo_latency_s(&self) -> f64 {
+        self.slo_latency_s
+    }
+
+    /// Checks one served response's virtual latency against the
+    /// tenant's latency SLO.
+    pub(crate) fn check_latency_slo(&self, tenant: u64, time_s: f64, latency_s: f64) {
+        self.plane
+            .slo
+            .check_upper(tenant, "latency", self.slo_latency_s, time_s, latency_s);
+    }
+}
+
+impl Default for ServeObs {
+    fn default() -> Self {
+        ServeObs::new(
+            DEFAULT_SPAN_CAPACITY,
+            DEFAULT_SLO_TARGET,
+            DEFAULT_SLO_LATENCY_S,
+        )
+    }
+}

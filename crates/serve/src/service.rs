@@ -16,10 +16,12 @@ use crate::cache::{DesignKey, DesignPointCache, Metrics};
 use crate::chaos::{chaos_schedule, ChaosConfig, HedgePolicy};
 use crate::error::ServeError;
 use crate::journal::{take_snapshot, Journal, JournalEntry, Snapshot};
+use crate::obs::{ServeObs, ADAPT_SPAN_S, CACHE_PROBE_SPAN_S, LEARN_SPAN_S, SELECT_SPAN_S};
 use crate::pool::{EvalJob, EvalPool, Evaluation, PoolConfig};
 use crate::store::{Session, SessionStore, TenantId};
+use antarex_obs::SpanId;
 use antarex_rtrm::checkpoint::daly_interval_s;
-use antarex_rtrm::powercap::try_weighted_split;
+use antarex_rtrm::powercap::try_weighted_split_observed;
 use antarex_tuner::manager::AppManager;
 use antarex_tuner::Configuration;
 use std::collections::BTreeMap;
@@ -188,6 +190,7 @@ pub struct TuningService<E> {
     journal: Option<Journal>,
     snapshot: Mutex<Option<Snapshot>>,
     next_snapshot_s: Mutex<f64>,
+    obs: ServeObs,
 }
 
 impl<E: Evaluator> TuningService<E> {
@@ -212,20 +215,30 @@ impl<E: Evaluator> TuningService<E> {
         evaluator: E,
     ) -> Self {
         let interval = resilience.snapshot_interval_s();
+        // the cache and breaker bank count onto cells owned by the
+        // metrics registry: module accessors and the exposition read
+        // the same atomics
+        let obs = ServeObs::default();
         TuningService {
             config,
             resilience,
             store: SessionStore::new(config.store_shards),
-            cache: DesignPointCache::new(config.cache_shards),
+            cache: DesignPointCache::with_counters(
+                config.cache_shards,
+                obs.cache_hits.clone(),
+                obs.cache_misses.clone(),
+                obs.cache_quarantined.clone(),
+            ),
             pool: EvalPool::new(config.pool),
             evaluator,
             chaos: None,
-            breakers: BreakerBank::new(resilience.breaker),
+            breakers: BreakerBank::with_trip_counter(resilience.breaker, obs.breaker_trips.clone()),
             journal: resilience
                 .journaled
                 .then(|| Journal::new(config.store_shards)),
             snapshot: Mutex::new(None),
             next_snapshot_s: Mutex::new(interval),
+            obs,
         }
     }
 
@@ -323,6 +336,12 @@ impl<E: Evaluator> TuningService<E> {
         self.resilience
     }
 
+    /// The observability plane: metrics registry, span tracer, and
+    /// per-tenant SLO burn tracking for this instance.
+    pub fn obs(&self) -> &ServeObs {
+        &self.obs
+    }
+
     /// Appends a delta to the write-ahead journal (no-op when the
     /// service is not journaled).
     fn journal_append(&self, entry: impl FnOnce() -> JournalEntry) {
@@ -405,6 +424,7 @@ impl<E: Evaluator> TuningService<E> {
                 coalesced: bool,
             },
         }
+        self.obs.requests.add(requests.len() as u64);
         let breaker_on = self.resilience.breaker.failure_threshold > 0;
         let mut pending: Vec<Pending> = Vec::with_capacity(requests.len());
         let mut jobs: Vec<EvalJob> = Vec::new();
@@ -440,6 +460,7 @@ impl<E: Evaluator> TuningService<E> {
             // `select()` mutates the manager (deploy/switch): journal it
             // whenever it ran, even when it found the SLA infeasible
             if matches!(&selected, Ok(Ok(_)) | Ok(Err(ServeError::Infeasible(_)))) {
+                self.obs.selects.inc();
                 self.journal_append(|| JournalEntry::Select {
                     tenant: request.tenant,
                 });
@@ -539,6 +560,39 @@ impl<E: Evaluator> TuningService<E> {
                 outcome.makespan_s,
             ),
         };
+        self.obs.evaluated.add(admitted as u64);
+        self.obs.retries.add(retries);
+        self.obs.hedges.add(hedges);
+        self.obs.makespan.record(makespan_s);
+
+        // trace spans record *work content* on virtual time — a probe's
+        // compute cost, a lookup's nominal cost — never queue placement,
+        // so the retained trace is byte-identical at any worker count
+        let batch_span = if requests.is_empty() {
+            SpanId::NONE
+        } else {
+            let total_cost_s: f64 = outcome.results.iter().map(|r| r.evaluation.cost_s).sum();
+            let max_arrival_s = requests
+                .iter()
+                .map(|r| r.arrival_s)
+                .fold(batch_start_s, f64::max);
+            self.obs.plane.tracer.record(
+                "batch",
+                None,
+                SpanId::NONE,
+                batch_start_s,
+                max_arrival_s + total_cost_s,
+            )
+        };
+        for result in &outcome.results {
+            self.obs.plane.tracer.record(
+                "eval",
+                Some(result.job.tenant),
+                batch_span,
+                batch_start_s,
+                batch_start_s + result.evaluation.cost_s,
+            );
+        }
 
         // verified results are memoized; failed design points are
         // quarantined so coalesced waiters re-probe next time instead
@@ -570,16 +624,22 @@ impl<E: Evaluator> TuningService<E> {
         let mut batch_end_s = f64::NEG_INFINITY;
         for (request, entry) in requests.iter().zip(pending) {
             batch_end_s = batch_end_s.max(request.arrival_s);
-            let response = match entry {
-                Pending::Err(e) => Err(e),
-                Pending::Hit(config, metrics) => Ok(TuningResponse {
-                    tenant: request.tenant,
-                    arrival_s: request.arrival_s,
-                    config,
-                    metrics,
-                    latency_s: CACHE_LOOKUP_S,
-                    cache_hit: true,
-                }),
+            // `work_s` is the request's worker-invariant span width: the
+            // probe's compute cost for a fresh evaluation, the nominal
+            // lookup cost for cache answers, zero for errors
+            let (response, work_s) = match entry {
+                Pending::Err(e) => (Err(e), 0.0),
+                Pending::Hit(config, metrics) => (
+                    Ok(TuningResponse {
+                        tenant: request.tenant,
+                        arrival_s: request.arrival_s,
+                        config,
+                        metrics,
+                        latency_s: CACHE_LOOKUP_S,
+                        cache_hit: true,
+                    }),
+                    CACHE_LOOKUP_S,
+                ),
                 Pending::Job {
                     config,
                     job_id,
@@ -591,30 +651,77 @@ impl<E: Evaluator> TuningService<E> {
                                 if coalesced {
                                     self.cache.note_coalesced_hit();
                                 }
-                                Ok(TuningResponse {
-                                    tenant: request.tenant,
-                                    arrival_s: request.arrival_s,
-                                    config,
-                                    metrics: outcome.results[job_id].evaluation.metrics.clone(),
-                                    latency_s: *completion_s,
-                                    cache_hit: coalesced,
-                                })
+                                (
+                                    Ok(TuningResponse {
+                                        tenant: request.tenant,
+                                        arrival_s: request.arrival_s,
+                                        config,
+                                        metrics: outcome.results[job_id].evaluation.metrics.clone(),
+                                        latency_s: *completion_s,
+                                        cache_hit: coalesced,
+                                    }),
+                                    if coalesced {
+                                        CACHE_LOOKUP_S
+                                    } else {
+                                        outcome.results[job_id].evaluation.cost_s
+                                    },
+                                )
                             }
                             // coalesced waiters share their job's fate
-                            Err(e) => Err(e.clone()),
+                            Err(e) => (Err(e.clone()), 0.0),
                         }
                     } else {
-                        Err(ServeError::Shed {
-                            capacity: self.pool.config().queue_capacity,
-                        })
+                        (
+                            Err(ServeError::Shed {
+                                capacity: self.pool.config().queue_capacity,
+                            }),
+                            0.0,
+                        )
                     }
                 }
             };
+            let request_span = self.obs.plane.tracer.record(
+                "request",
+                Some(request.tenant),
+                batch_span,
+                request.arrival_s,
+                request.arrival_s + work_s,
+            );
             match &response {
                 Ok(answer) => {
                     let metrics = answer.metrics.clone();
                     let config = answer.config.clone();
                     let arrival = answer.arrival_s;
+                    self.obs.served.inc();
+                    if answer.cache_hit {
+                        self.obs.cache_hit_responses.inc();
+                    }
+                    self.obs.learns.add(metrics.len() as u64);
+                    self.obs.latency.record(answer.latency_s);
+                    self.obs
+                        .check_latency_slo(request.tenant, arrival, answer.latency_s);
+                    let select_end_s = arrival + SELECT_SPAN_S;
+                    self.obs.plane.tracer.record(
+                        "select",
+                        Some(request.tenant),
+                        request_span,
+                        arrival,
+                        select_end_s,
+                    );
+                    self.obs.plane.tracer.record(
+                        "cache_probe",
+                        Some(request.tenant),
+                        request_span,
+                        select_end_s,
+                        select_end_s + CACHE_PROBE_SPAN_S,
+                    );
+                    self.obs.plane.tracer.record(
+                        "learn",
+                        Some(request.tenant),
+                        request_span,
+                        arrival + work_s,
+                        arrival + work_s + LEARN_SPAN_S,
+                    );
                     let _ = self.store.with(request.tenant, |session| {
                         session.requests += 1;
                         session.last_config = Some(config.clone());
@@ -640,6 +747,16 @@ impl<E: Evaluator> TuningService<E> {
                 Err(e) => {
                     if matches!(e, ServeError::Shed { .. }) {
                         shed += 1;
+                    }
+                    // classification mirrors the drive loop's: shed is
+                    // load, infrastructure faults are failures, tenant
+                    // contract errors are rejections
+                    match e {
+                        ServeError::Shed { .. } => self.obs.shed.inc(),
+                        ServeError::WorkerFailed { .. }
+                        | ServeError::Deadline
+                        | ServeError::CircuitOpen { .. } => self.obs.failed.inc(),
+                        _ => self.obs.rejected.inc(),
                     }
                     // worker faults and missed deadlines say the eval
                     // path is unhealthy for this tenant; shed, open
@@ -674,6 +791,14 @@ impl<E: Evaluator> TuningService<E> {
             let _ = self.store.with(tenant, |session| {
                 session.manager.adapt(batch_end_s);
             });
+            self.obs.adapts.inc();
+            self.obs.plane.tracer.record(
+                "adapt",
+                Some(tenant),
+                batch_span,
+                batch_end_s,
+                batch_end_s + ADAPT_SPAN_S,
+            );
             self.journal_append(|| JournalEntry::Adapt {
                 tenant,
                 now_s: batch_end_s,
@@ -732,7 +857,7 @@ impl<E: Evaluator> TuningService<E> {
                 (tenants, demands)
             },
         );
-        let shares = try_weighted_split(budget_w, &demands)?;
+        let shares = try_weighted_split_observed(budget_w, &demands, &self.obs.powercap)?;
         Some(tenants.into_iter().zip(shares).collect())
     }
 }

@@ -16,7 +16,10 @@
 //!   runtime resource/power manager;
 //! * [`apps`] — the two driving use cases (drug discovery, navigation);
 //! * [`serve`] — the multi-tenant autotuning service (sharded sessions,
-//!   parallel evaluation, memoized design points).
+//!   parallel evaluation, memoized design points);
+//! * [`obs`] — the deterministic tracing + metrics plane the serving
+//!   stack reports through (worker-invariant spans, log-bucketed
+//!   histograms, Prometheus-style exposition, SLO burn rates).
 //!
 //! ```
 //! use antarex::core::flow::ToolFlow;
@@ -42,6 +45,7 @@ pub use antarex_core as core;
 pub use antarex_dsl as dsl;
 pub use antarex_ir as ir;
 pub use antarex_monitor as monitor;
+pub use antarex_obs as obs;
 pub use antarex_precision as precision;
 pub use antarex_rtrm as rtrm;
 pub use antarex_serve as serve;
