@@ -1,0 +1,700 @@
+//! Experiment AD1: SLO-driven admission control and autoscaling.
+//!
+//! Drives the serving tier through a bursty multi-tenant overload and
+//! measures what the SLO front door (admission tiers + virtual-capacity
+//! autoscaler) buys:
+//!
+//! 1. **Overload protection** — a large population of well-behaved
+//!    tenants shares the pool with a pack of aggressive tenants whose
+//!    bursty (Markov-modulated Poisson) demand always fails probe
+//!    integrity, so every request they land burns real pool time and
+//!    quarantines instead of caching. The same workload is served three
+//!    ways: well-behaved-only (the uncontended reference), mixed with
+//!    the door open (hardened resilience, no front door), and mixed
+//!    behind the front door. The headline claim: the controlled stack
+//!    keeps ≥ 95% of the uncontended well-behaved goodput and holds its
+//!    p99 while the open door collapses both.
+//! 2. **Virtual-capacity invariance** — the autoscaler resizes the
+//!    pool's *virtual* worker count only; the controlled campaign's
+//!    final state and per-class outcomes are byte-identical at 1, 2, 4,
+//!    and 8 physical worker threads.
+//! 3. **Crash and recovery** — the controlled, journaled service is
+//!    killed mid-campaign; recovery (snapshot + journal-suffix replay,
+//!    including `AdmissionUpdate` and `Scale` entries) continues the
+//!    remaining windows and the final state report is compared byte for
+//!    byte against an uninterrupted run.
+//!
+//! Everything is virtual-time and seeded, so the whole report is
+//! reproducible byte for byte — the CI determinism smoke diffs two runs.
+
+use antarex_serve::chaos::ChaosConfig;
+use antarex_serve::driver::{self, BurstProfile, DriverConfig};
+use antarex_serve::nav::NavEvaluator;
+use antarex_serve::pool::PoolConfig;
+use antarex_serve::service::{BatchReport, ResilienceConfig};
+use antarex_serve::store::TenantId;
+use antarex_serve::{FrontDoorConfig, ServeError, ServiceConfig, TuningRequest, TuningService};
+use antarex_sim::faults::{FaultConfig, FaultSchedule};
+use antarex_tuner::manager::AppManager;
+use std::fmt::Write as _;
+
+/// Size of one AD1 campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionScale {
+    /// Well-behaved tenant sessions (ids `0..wb_tenants`).
+    pub wb_tenants: usize,
+    /// Aggressive tenant sessions (ids `wb_tenants..`), each with its
+    /// own workload archetype so their poisoned probes never touch the
+    /// well-behaved cache entries.
+    pub aggressive_tenants: usize,
+    /// Distinct archetypes shared among the well-behaved tenants.
+    pub archetypes: usize,
+    /// Every Nth well-behaved tenant is *fresh*: it carries unique
+    /// workload features, so its first request is always a probe. This
+    /// keeps a steady trickle of legitimate pool demand flowing for the
+    /// whole campaign — the demand an overloaded queue visibly sheds —
+    /// instead of the cache absorbing the entire well-behaved class
+    /// after warmup. `0` disables the slice.
+    pub fresh_every: usize,
+    /// Virtual duration of the campaign, seconds.
+    pub duration_s: f64,
+    /// Mean request rate per well-behaved tenant, Hz.
+    pub wb_rate_hz: f64,
+    /// Calm-phase request rate per aggressive tenant, Hz (bursts run
+    /// [`BurstProfile::aggressive`] times hotter).
+    pub aggressive_rate_hz: f64,
+    /// Physical pool workers.
+    pub workers: usize,
+    /// Evaluation-queue capacity (probes per batch before overflow).
+    pub queue_capacity: usize,
+}
+
+impl AdmissionScale {
+    /// The full campaign printed by the `ad1` experiment: ten thousand
+    /// well-behaved tenants — most sharing archetypes (cache-friendly),
+    /// a fresh slice carrying steady probe demand — against four
+    /// hundred bursty aggressors.
+    pub fn full() -> Self {
+        AdmissionScale {
+            wb_tenants: 10_000,
+            aggressive_tenants: 400,
+            archetypes: 100,
+            fresh_every: 5,
+            duration_s: 120.0,
+            wb_rate_hz: 0.005,
+            aggressive_rate_hz: 0.1,
+            workers: 4,
+            queue_capacity: 96,
+        }
+    }
+
+    /// A tiny campaign for smoke testing in `cargo test`.
+    pub fn tiny() -> Self {
+        AdmissionScale {
+            wb_tenants: 64,
+            aggressive_tenants: 16,
+            archetypes: 16,
+            fresh_every: 4,
+            duration_s: 30.0,
+            wb_rate_hz: 0.05,
+            aggressive_rate_hz: 0.2,
+            workers: 2,
+            queue_capacity: 24,
+        }
+    }
+
+    /// Batch window of the campaign, seconds.
+    pub fn window_s(&self) -> f64 {
+        5.0
+    }
+
+    fn wb_driver(&self, seed: u64) -> DriverConfig {
+        DriverConfig {
+            tenants: self.wb_tenants,
+            archetypes: self.archetypes,
+            duration_s: self.duration_s,
+            rate_per_tenant_hz: self.wb_rate_hz,
+            batch_window_s: self.window_s(),
+            seed,
+        }
+    }
+
+    fn aggressive_driver(&self, seed: u64) -> DriverConfig {
+        DriverConfig {
+            tenants: self.aggressive_tenants,
+            // archetypes is unused for id-offset tenants (they register
+            // with per-tenant features below) but must be non-zero
+            archetypes: self.aggressive_tenants.max(1),
+            duration_s: self.duration_s,
+            rate_per_tenant_hz: self.aggressive_rate_hz,
+            batch_window_s: self.window_s(),
+            seed,
+        }
+    }
+
+    /// First aggressive tenant id.
+    fn aggressive_base(&self) -> TenantId {
+        self.wb_tenants as TenantId
+    }
+}
+
+/// The merged campaign workload: well-behaved Poisson arrivals plus the
+/// aggressive tenants' bursty stream (ids offset past the well-behaved
+/// population), sorted by (time, tenant).
+pub fn mixed_arrivals(seed: u64, scale: &AdmissionScale) -> Vec<TuningRequest> {
+    let mut events = driver::arrivals(&scale.wb_driver(seed));
+    let base = scale.aggressive_base();
+    events.extend(
+        driver::bursty_arrivals(&scale.aggressive_driver(seed), &BurstProfile::aggressive())
+            .into_iter()
+            .map(|e| TuningRequest {
+                tenant: base + e.tenant,
+                arrival_s: e.arrival_s,
+            }),
+    );
+    events.sort_by(|a, b| {
+        a.arrival_s
+            .total_cmp(&b.arrival_s)
+            .then(a.tenant.cmp(&b.tenant))
+    });
+    events
+}
+
+/// The campaign's chaos plane: no infrastructure faults (the overload
+/// is the adversary), every aggressive tenant's probes poisoned so each
+/// of their requests burns pool time and quarantines. The fault
+/// schedule's node count is fixed — independent of the physical worker
+/// count — so the virtual-capacity invariance proof compares like with
+/// like.
+fn overload_chaos(seed: u64, scale: &AdmissionScale) -> ChaosConfig {
+    let schedule = FaultSchedule::generate(&FaultConfig::none(seed), 8, scale.duration_s + 60.0);
+    let mut chaos = ChaosConfig::new(schedule);
+    let base = scale.aggressive_base();
+    for t in 0..scale.aggressive_tenants as TenantId {
+        chaos = chaos.poison(base + t);
+    }
+    chaos
+}
+
+/// The campaign's probe evaluator: the city network with a planner
+/// calibration eight times faster than the navigation default, putting
+/// one probe at ~0.15 virtual seconds — the regime where the 0.5 s
+/// latency SLO is meetable whenever capacity matches demand, so SLO
+/// burn separates abusers from well-served tenants instead of flagging
+/// every fresh probe.
+fn campaign_evaluator(seed: u64) -> NavEvaluator {
+    let mut evaluator = NavEvaluator::city(seed);
+    evaluator.expansions_per_s *= 8.0;
+    evaluator
+}
+
+fn campaign_service(
+    seed: u64,
+    scale: &AdmissionScale,
+    workers: usize,
+    front_door: Option<FrontDoorConfig>,
+) -> TuningService<NavEvaluator> {
+    let mut service = TuningService::with_resilience(
+        ServiceConfig {
+            pool: PoolConfig {
+                workers,
+                queue_capacity: scale.queue_capacity,
+            },
+            ..ServiceConfig::default()
+        },
+        ResilienceConfig::hardened(),
+        campaign_evaluator(seed),
+    )
+    .with_chaos(overload_chaos(seed, scale));
+    if let Some(fd) = front_door {
+        service = service.with_front_door(fd);
+    }
+    // well-behaved tenants share archetypes (cache-friendly), except
+    // the fresh slice, which carries per-tenant features and therefore
+    // steady probe demand; aggressive tenants get per-tenant features
+    // past both ranges so their quarantines never evict anyone else's
+    // cached points
+    for t in 0..scale.wb_tenants {
+        let fresh = scale.fresh_every > 0 && t % scale.fresh_every == scale.fresh_every - 1;
+        let features = if fresh {
+            driver::archetype_features(scale.archetypes + t)
+        } else {
+            driver::archetype_features(t % scale.archetypes)
+        };
+        let _ = service.register_tenant(t as TenantId, driver::nav_manager(0.5), features);
+    }
+    let base = scale.aggressive_base();
+    for t in 0..scale.aggressive_tenants {
+        let features = driver::archetype_features(scale.archetypes + scale.wb_tenants + t);
+        let _ = service.register_tenant(base + t as TenantId, driver::nav_manager(0.5), features);
+    }
+    service
+}
+
+/// Per-class outcome of one campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassStats {
+    /// Requests the class generated.
+    pub requests: usize,
+    /// Requests answered with a configuration.
+    pub served: usize,
+    /// Requests shed: queue overflow or front-door rejection.
+    pub shed: usize,
+    /// Requests failed: worker faults, deadlines, open circuits.
+    pub failed: usize,
+    /// Requests rejected for contract reasons (infeasible SLA, ...).
+    pub rejected: usize,
+    /// 99th-percentile virtual service latency of served requests.
+    pub p99_latency_s: f64,
+}
+
+impl ClassStats {
+    /// Fraction of the class's requests answered with a configuration.
+    pub fn goodput(&self) -> f64 {
+        if self.requests > 0 {
+            self.served as f64 / self.requests as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Outcome of one campaign run under one front-door profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Profile label (`uncontended`, `open_door`, `controlled`).
+    pub profile: &'static str,
+    /// The well-behaved population's outcome.
+    pub wb: ClassStats,
+    /// The aggressive population's outcome.
+    pub aggressive: ClassStats,
+    /// Degraded (cache-only) answers the front door produced.
+    pub degraded: u64,
+    /// Requests hard-shed by the front door.
+    pub admission_shed: u64,
+    /// Admission tier transitions over the run.
+    pub transitions: u64,
+    /// Largest virtual capacity the autoscaler reached.
+    pub peak_capacity: usize,
+    /// Batch windows served.
+    pub windows: usize,
+}
+
+fn p99(latencies: &mut [f64]) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let index = ((latencies.len() as f64 * 0.99).ceil() as usize).clamp(1, latencies.len()) - 1;
+    latencies[index]
+}
+
+/// Chunks the arrival stream into non-empty batch windows.
+fn batch_windows(events: &[TuningRequest], window_s: f64) -> Vec<&[TuningRequest]> {
+    let mut windows = Vec::new();
+    let mut start = 0;
+    let mut window_end = window_s;
+    while start < events.len() {
+        let end = events[start..]
+            .iter()
+            .position(|e| e.arrival_s >= window_end)
+            .map(|offset| start + offset)
+            .unwrap_or(events.len());
+        if end == start {
+            window_end += window_s;
+            continue;
+        }
+        windows.push(&events[start..end]);
+        start = end;
+    }
+    windows
+}
+
+fn tally_window(
+    requests: &[TuningRequest],
+    report: &BatchReport,
+    wb_tenants: usize,
+    wb: &mut ClassStats,
+    aggressive: &mut ClassStats,
+    wb_latencies: &mut Vec<f64>,
+    aggressive_latencies: &mut Vec<f64>,
+) {
+    for (request, response) in requests.iter().zip(&report.responses) {
+        let well_behaved = (request.tenant as usize) < wb_tenants;
+        let (class, latencies) = if well_behaved {
+            (&mut *wb, &mut *wb_latencies)
+        } else {
+            (&mut *aggressive, &mut *aggressive_latencies)
+        };
+        class.requests += 1;
+        match response {
+            Ok(answer) => {
+                class.served += 1;
+                latencies.push(answer.latency_s);
+            }
+            Err(ServeError::Shed { .. }) | Err(ServeError::AdmissionRejected { .. }) => {
+                class.shed += 1;
+            }
+            Err(ServeError::WorkerFailed { .. })
+            | Err(ServeError::Deadline)
+            | Err(ServeError::CircuitOpen { .. }) => class.failed += 1,
+            Err(_) => class.rejected += 1,
+        }
+    }
+}
+
+/// Serves one campaign workload under one profile, classifying every
+/// outcome as well-behaved or aggressive.
+pub fn overload_run(
+    seed: u64,
+    scale: &AdmissionScale,
+    profile: &'static str,
+    front_door: Option<FrontDoorConfig>,
+    include_aggressive: bool,
+) -> RunOutcome {
+    let events = if include_aggressive {
+        mixed_arrivals(seed, scale)
+    } else {
+        driver::arrivals(&scale.wb_driver(seed))
+    };
+    let service = campaign_service(seed, scale, scale.workers, front_door);
+    let windows = batch_windows(&events, scale.window_s());
+    let mut wb = ClassStats::default();
+    let mut aggressive = ClassStats::default();
+    let mut wb_latencies = Vec::new();
+    let mut aggressive_latencies = Vec::new();
+    let mut degraded = 0u64;
+    let mut admission_shed = 0u64;
+    let mut peak_capacity = scale.workers;
+    for window in &windows {
+        let report = service.serve_batch(window);
+        tally_window(
+            window,
+            &report,
+            scale.wb_tenants,
+            &mut wb,
+            &mut aggressive,
+            &mut wb_latencies,
+            &mut aggressive_latencies,
+        );
+        degraded += report.degraded as u64;
+        admission_shed += report.admission_shed as u64;
+        peak_capacity = peak_capacity.max(report.capacity);
+    }
+    wb.p99_latency_s = p99(&mut wb_latencies);
+    aggressive.p99_latency_s = p99(&mut aggressive_latencies);
+    RunOutcome {
+        profile,
+        wb,
+        aggressive,
+        degraded,
+        admission_shed,
+        transitions: service.obs().admission_transitions(),
+        peak_capacity,
+        windows: windows.len(),
+    }
+}
+
+/// The three-way overload comparison: well-behaved-only reference, the
+/// mixed workload with the door open, the mixed workload behind the
+/// front door.
+pub fn overload_campaign(seed: u64, scale: &AdmissionScale) -> Vec<RunOutcome> {
+    vec![
+        overload_run(seed, scale, "uncontended", None, false),
+        overload_run(seed, scale, "open_door", None, true),
+        overload_run(
+            seed,
+            scale,
+            "controlled",
+            Some(FrontDoorConfig::hardened()),
+            true,
+        ),
+    ]
+}
+
+/// Outcome of the virtual-capacity invariance proof.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvarianceOutcome {
+    /// Physical worker counts compared.
+    pub worker_counts: Vec<usize>,
+    /// Whether every run produced byte-identical per-class outcomes.
+    pub outcomes_identical: bool,
+    /// Whether every run's final state report was byte-identical.
+    pub state_identical: bool,
+}
+
+/// Runs the controlled campaign at several physical worker counts and
+/// checks that outcomes and final state are byte-identical: the
+/// autoscaler only ever resizes *virtual* capacity.
+pub fn worker_invariance(seed: u64, scale: &AdmissionScale) -> InvarianceOutcome {
+    let worker_counts = vec![1, 2, 4, 8];
+    let events = mixed_arrivals(seed, scale);
+    let windows = batch_windows(&events, scale.window_s());
+    let mut outcomes: Vec<(String, String)> = Vec::new();
+    for &workers in &worker_counts {
+        let service = campaign_service(seed, scale, workers, Some(FrontDoorConfig::hardened()));
+        let mut digest = String::new();
+        for window in &windows {
+            let report = service.serve_batch(window);
+            let _ = write!(
+                digest,
+                "[cap={} deg={} shed={} resp={:?}]",
+                report.capacity, report.degraded, report.admission_shed, report.responses,
+            );
+        }
+        outcomes.push((digest, service.state_report()));
+    }
+    let (first_digest, first_state) = &outcomes[0];
+    InvarianceOutcome {
+        outcomes_identical: outcomes.iter().all(|(d, _)| d == first_digest),
+        state_identical: outcomes.iter().all(|(_, s)| s == first_state),
+        worker_counts,
+    }
+}
+
+/// Outcome of the crash-recovery drill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryOutcome {
+    /// Batch windows served before the crash.
+    pub windows_before_crash: usize,
+    /// Batch windows served after recovery.
+    pub windows_after_crash: usize,
+    /// Whether a Daly snapshot existed at the crash.
+    pub had_snapshot: bool,
+    /// Journal-suffix entries replayed on recovery.
+    pub replayed_entries: usize,
+    /// Whether the recovered run's final state report — admission
+    /// tiers, EWMA burns, and autoscaler state included — equals the
+    /// uninterrupted run's, byte for byte.
+    pub bit_identical: bool,
+}
+
+/// Kills the controlled service mid-campaign, recovers from snapshot +
+/// journal suffix (replaying `AdmissionUpdate` and `Scale` entries),
+/// finishes the workload, and compares against an uninterrupted run.
+pub fn crash_recovery_drill(seed: u64, scale: &AdmissionScale) -> RecoveryOutcome {
+    let events = mixed_arrivals(seed, scale);
+    let windows = batch_windows(&events, scale.window_s());
+    let crash_at = windows.len() / 2;
+    let front_door = FrontDoorConfig::hardened();
+    let make_manager = |_tenant: TenantId| -> AppManager { driver::nav_manager(0.5) };
+
+    let build = || campaign_service(seed, scale, scale.workers, Some(front_door));
+
+    // the uninterrupted reference
+    let reference = build();
+    for window in &windows {
+        reference.serve_batch(window);
+    }
+
+    // the victim: crash after `crash_at` windows, recover, continue
+    let victim = build();
+    for window in &windows[..crash_at] {
+        victim.serve_batch(window);
+    }
+    let (snapshot, entries) = victim.crash();
+    let had_snapshot = snapshot.is_some();
+    let replayed_entries = entries.len();
+    let recovered = TuningService::recover(
+        ServiceConfig {
+            pool: PoolConfig {
+                workers: scale.workers,
+                queue_capacity: scale.queue_capacity,
+            },
+            ..ServiceConfig::default()
+        },
+        ResilienceConfig::hardened(),
+        Some(overload_chaos(seed, scale)),
+        Some(front_door),
+        campaign_evaluator(seed),
+        snapshot,
+        &entries,
+        &make_manager,
+    );
+    for window in &windows[crash_at..] {
+        recovered.serve_batch(window);
+    }
+
+    RecoveryOutcome {
+        windows_before_crash: crash_at,
+        windows_after_crash: windows.len() - crash_at,
+        had_snapshot,
+        replayed_entries,
+        bit_identical: recovered.state_report() == reference.state_report(),
+    }
+}
+
+/// Renders the full AD1 report for one seed and scale.
+pub fn ad1_report(seed: u64, scale: &AdmissionScale) -> String {
+    let mut out = String::new();
+    let fd = FrontDoorConfig::hardened();
+    let _ = writeln!(
+        out,
+        "admission campaign (seed {seed}, {} well-behaved + {} aggressive tenants, {} workers, {:.0} s virtual)",
+        scale.wb_tenants, scale.aggressive_tenants, scale.workers, scale.duration_s
+    );
+    let _ = writeln!(
+        out,
+        "front door: target {:.2}, degrade {:.0}x/{:.0}x, shed {:.0}x/{:.0}x, dwell {:.0} s; autoscale {}..{} virtual workers",
+        fd.admission.target,
+        fd.admission.degrade_enter,
+        fd.admission.degrade_exit,
+        fd.admission.shed_enter,
+        fd.admission.shed_exit,
+        fd.admission.min_dwell_s,
+        fd.autoscale.min_workers,
+        fd.autoscale.max_workers,
+    );
+
+    let rows = overload_campaign(seed, scale);
+    let _ = writeln!(
+        out,
+        "\n{:>11} {:>5} {:>9} {:>7} {:>7} {:>7} {:>9} {:>9}",
+        "profile", "class", "requests", "served", "shed", "failed", "goodput", "p99"
+    );
+    for row in &rows {
+        for (class, stats) in [("wb", &row.wb), ("aggr", &row.aggressive)] {
+            if stats.requests == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:>11} {:>5} {:>9} {:>7} {:>7} {:>7} {:>8.1}% {:>7.3} s",
+                row.profile,
+                class,
+                stats.requests,
+                stats.served,
+                stats.shed,
+                stats.failed,
+                100.0 * stats.goodput(),
+                stats.p99_latency_s,
+            );
+        }
+    }
+    let uncontended = &rows[0];
+    let open_door = &rows[1];
+    let controlled = &rows[2];
+    let wb_reference = uncontended.wb.goodput();
+    let _ = writeln!(
+        out,
+        "controlled keeps {:.1}% of uncontended well-behaved goodput; the open door keeps {:.1}%",
+        100.0 * controlled.wb.goodput() / wb_reference,
+        100.0 * open_door.wb.goodput() / wb_reference,
+    );
+    let _ = writeln!(
+        out,
+        "well-behaved p99: uncontended {:.3} s, open door {:.3} s, controlled {:.3} s (SLO 0.5 s)",
+        uncontended.wb.p99_latency_s, open_door.wb.p99_latency_s, controlled.wb.p99_latency_s,
+    );
+    let _ = writeln!(
+        out,
+        "front door: {} degraded answers, {} hard sheds, {} tier transitions, peak virtual capacity {} (physical {})",
+        controlled.degraded,
+        controlled.admission_shed,
+        controlled.transitions,
+        controlled.peak_capacity,
+        scale.workers,
+    );
+
+    let invariance = worker_invariance(seed, scale);
+    let _ = writeln!(
+        out,
+        "\nvirtual-capacity invariance across {:?} physical workers: outcomes {}, state {}",
+        invariance.worker_counts,
+        if invariance.outcomes_identical {
+            "IDENTICAL"
+        } else {
+            "DIVERGED"
+        },
+        if invariance.state_identical {
+            "IDENTICAL"
+        } else {
+            "DIVERGED"
+        },
+    );
+
+    let recovery = crash_recovery_drill(seed, scale);
+    let _ = writeln!(
+        out,
+        "\ncrash after {} of {} windows: snapshot {}, {} journal entries replayed, recovered front-door state {} the uninterrupted run",
+        recovery.windows_before_crash,
+        recovery.windows_before_crash + recovery.windows_after_crash,
+        if recovery.had_snapshot { "present" } else { "absent" },
+        recovery.replayed_entries,
+        if recovery.bit_identical {
+            "IDENTICAL to"
+        } else {
+            "DIVERGED from"
+        }
+    );
+    out
+}
+
+/// The registered `ad1` experiment.
+pub fn ad1_admission_control() -> String {
+    ad1_report(42, &AdmissionScale::full())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_deterministic() {
+        let a = ad1_report(3, &AdmissionScale::tiny());
+        let b = ad1_report(3, &AdmissionScale::tiny());
+        assert_eq!(a, b, "same seed must reproduce the report byte for byte");
+    }
+
+    #[test]
+    fn front_door_protects_well_behaved_goodput() {
+        let rows = overload_campaign(42, &AdmissionScale::full());
+        let reference = rows[0].wb.goodput();
+        assert!(
+            reference > 0.9,
+            "uncontended must mostly serve: {reference}"
+        );
+        let open = rows[1].wb.goodput() / reference;
+        let controlled = rows[2].wb.goodput() / reference;
+        assert!(
+            open <= 0.90,
+            "the overload must cost the open door >= 10% of well-behaved goodput: {open}"
+        );
+        assert!(
+            controlled >= 0.95,
+            "the front door must keep >= 95% of well-behaved goodput: {controlled}"
+        );
+        assert!(
+            rows[2].wb.p99_latency_s < rows[1].wb.p99_latency_s,
+            "the front door must hold p99: controlled {} vs open {}",
+            rows[2].wb.p99_latency_s,
+            rows[1].wb.p99_latency_s
+        );
+        assert!(
+            rows[2].admission_shed > 0,
+            "aggressive tenants must get hard-shed"
+        );
+        assert!(
+            rows[2].peak_capacity > AdmissionScale::full().workers,
+            "the autoscaler must have grown virtual capacity"
+        );
+    }
+
+    #[test]
+    fn controlled_outcomes_are_physical_worker_invariant() {
+        let outcome = worker_invariance(7, &AdmissionScale::tiny());
+        assert!(
+            outcome.outcomes_identical,
+            "responses must not depend on threads"
+        );
+        assert!(outcome.state_identical, "state must not depend on threads");
+    }
+
+    #[test]
+    fn crash_recovery_is_bit_identical() {
+        let outcome = crash_recovery_drill(7, &AdmissionScale::tiny());
+        assert!(outcome.windows_before_crash > 0);
+        assert!(outcome.windows_after_crash > 0);
+        assert!(outcome.bit_identical, "recovery must replay exactly");
+    }
+}

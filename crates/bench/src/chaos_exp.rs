@@ -341,6 +341,7 @@ pub fn crash_recovery_drill(seed: u64, scale: &ChaosScale) -> RecoveryOutcome {
         service_config,
         resilience,
         Some(chaos()),
+        None,
         NavEvaluator::city(seed),
         snapshot,
         &entries,

@@ -31,11 +31,13 @@
 //! | r2 | —      | chaos hardening: goodput under faults, breaker containment, crash recovery |
 //! | p1 | —      | hot-path data plane: indexed select, structural cache keys, parallel DSE |
 //! | o1 | —      | observability plane: worker-invariant traces, dual accounting, SLO burn |
+//! | ad1 | —     | SLO front door: admission tiers, overload shedding, virtual autoscaling |
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod ablations;
+pub mod admission_exp;
 pub mod chaos_exp;
 pub mod claims;
 pub mod figures;
@@ -163,6 +165,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "observability plane — worker-invariant traces, dual accounting, SLO burn",
             run: obs_exp::o1_observability,
         },
+        Experiment {
+            id: "ad1",
+            title: "SLO front door — admission tiers, overload shedding, virtual autoscaling",
+            run: admission_exp::ad1_admission_control,
+        },
     ]
 }
 
@@ -234,7 +241,7 @@ mod tests {
                 assert_ne!(a.id, b.id);
             }
         }
-        assert_eq!(experiments.len(), 21);
+        assert_eq!(experiments.len(), 22);
     }
 
     #[test]

@@ -141,12 +141,30 @@ impl SlaReport {
 
     /// Error-budget burn rate against a target good fraction:
     /// `violation_rate / (1 − target)`. A burn of 1 consumes the budget
-    /// exactly at the sustainable pace; above 1 exhausts it early. The
-    /// target is clamped into `[0, 1 − 1e-9]` so the budget is never
-    /// zero.
+    /// exactly at the sustainable pace; above 1 exhausts it early.
+    ///
+    /// Edge behavior is explicit rather than clamped away:
+    ///
+    /// * **zero-sample window** (`checked == 0`): returns `0.0` — no
+    ///   evidence is no burn, so an idle tenant decays instead of
+    ///   holding its last rate;
+    /// * **zero error budget** (`target >= 1.0`): a perfect record
+    ///   returns `0.0`, any violation returns [`f64::INFINITY`] — a
+    ///   "never fail" target is either met or blown, never partially
+    ///   burned;
+    /// * negative targets are treated as `0.0` (budget of one).
     pub fn burn_rate(&self, target: f64) -> f64 {
-        let budget = 1.0 - target.clamp(0.0, 1.0 - 1e-9);
-        self.violation_rate() / budget
+        if self.checked == 0 {
+            return 0.0;
+        }
+        if target >= 1.0 {
+            return if self.violations == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+        }
+        self.violation_rate() / (1.0 - target.max(0.0))
     }
 }
 
@@ -221,8 +239,73 @@ mod tests {
             violations: 0,
         };
         assert_eq!(clean.burn_rate(0.999), 0.0);
-        // target 1.0 is clamped, not a division by zero
-        assert!(report.burn_rate(1.0).is_finite());
+    }
+
+    #[test]
+    fn burn_rate_edge_sentinels() {
+        // zero-sample window: no evidence is no burn, at any target
+        let empty = SlaReport::default();
+        for target in [-1.0, 0.0, 0.5, 0.999, 1.0, 2.0] {
+            assert_eq!(empty.burn_rate(target), 0.0, "target {target}");
+        }
+        // zero error budget: met or blown, never in between
+        let clean = SlaReport {
+            checked: 50,
+            violations: 0,
+        };
+        let dirty = SlaReport {
+            checked: 1000,
+            violations: 1,
+        };
+        assert_eq!(clean.burn_rate(1.0), 0.0);
+        assert_eq!(dirty.burn_rate(1.0), f64::INFINITY);
+        assert_eq!(dirty.burn_rate(1.5), f64::INFINITY);
+        // negative targets degrade to a budget of one
+        assert_eq!(dirty.burn_rate(-3.0), dirty.violation_rate());
+    }
+
+    /// Hand-rolled xorshift so the property sweep needs no rand dep.
+    fn next(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn burn_rate_properties_hold_over_random_reports() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..2000 {
+            let checked = next(&mut state) % 10_000;
+            let violations = if checked == 0 {
+                0
+            } else {
+                next(&mut state) % (checked + 1)
+            };
+            let report = SlaReport {
+                checked,
+                violations,
+            };
+            let target = (next(&mut state) % 1_000_000) as f64 / 1_000_000.0;
+            let burn = report.burn_rate(target);
+            // non-negative, finite for any sub-unit target
+            assert!(burn >= 0.0);
+            assert!(burn.is_finite(), "target {target} must have a budget");
+            // monotone in violations: one more violation never lowers it
+            if violations < checked {
+                let worse = SlaReport {
+                    checked,
+                    violations: violations + 1,
+                };
+                assert!(worse.burn_rate(target) >= burn);
+            }
+            // monotone in target: a stricter target never lowers it
+            let stricter = (target + 0.5).min(0.999_999);
+            assert!(report.burn_rate(stricter) >= burn - 1e-12);
+            // burn × budget recovers the violation rate
+            let budget = 1.0 - target;
+            assert!((burn * budget - report.violation_rate()).abs() < 1e-9);
+        }
     }
 
     #[test]

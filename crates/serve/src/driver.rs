@@ -212,6 +212,93 @@ pub fn arrivals(config: &DriverConfig) -> Vec<TuningRequest> {
     events
 }
 
+/// Burst shape of a Markov-modulated Poisson arrival stream: each
+/// tenant flips between a calm phase (the configured base rate) and an
+/// on phase running `on_rate_multiplier` times hotter, with
+/// exponentially distributed phase dwells. This is the adversarial
+/// overload workload the admission-control experiment drives: bursts
+/// are correlated in time, so peak demand far exceeds the mean rate a
+/// capacity plan would see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstProfile {
+    /// Rate multiplier while a tenant's burst is on (≥ 1).
+    pub on_rate_multiplier: f64,
+    /// Mean duration of an on phase, seconds.
+    pub mean_on_s: f64,
+    /// Mean duration of a calm phase, seconds.
+    pub mean_off_s: f64,
+}
+
+impl BurstProfile {
+    /// An aggressive profile: 20× bursts lasting ~10 s every ~30 s.
+    pub fn aggressive() -> Self {
+        BurstProfile {
+            on_rate_multiplier: 20.0,
+            mean_on_s: 10.0,
+            mean_off_s: 30.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.on_rate_multiplier >= 1.0,
+            "burst multiplier must be at least 1"
+        );
+        assert!(self.mean_on_s > 0.0, "on dwell must be positive");
+        assert!(self.mean_off_s > 0.0, "off dwell must be positive");
+    }
+}
+
+/// Generates a bursty (Markov-modulated Poisson) arrival sequence:
+/// every tenant alternates calm and on phases per its own seeded RNG
+/// stream, emitting Poisson arrivals at the phase's rate. Sorted by
+/// (time, tenant) like [`arrivals`]; a distinct stream salt keeps the
+/// bursty workload decorrelated from the plain one at the same seed.
+pub fn bursty_arrivals(config: &DriverConfig, profile: &BurstProfile) -> Vec<TuningRequest> {
+    config.validate();
+    profile.validate();
+    let mut events: Vec<TuningRequest> = Vec::new();
+    for tenant in 0..config.tenants as TenantId {
+        let mut rng = StdRng::seed_from_u64(crate::store::mix64(
+            config.seed ^ tenant.wrapping_mul(0x517c_c1b7_2722_0a95) ^ 0x00B0_4575_EAD0_u64,
+        ));
+        let mut t = 0.0;
+        let mut on = false;
+        while t < config.duration_s {
+            let (rate, mean_dwell_s) = if on {
+                (
+                    config.rate_per_tenant_hz * profile.on_rate_multiplier,
+                    profile.mean_on_s,
+                )
+            } else {
+                (config.rate_per_tenant_hz, profile.mean_off_s)
+            };
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let phase_end_s = (t - (1.0 - u).ln() * mean_dwell_s).min(config.duration_s);
+            let mut s = t;
+            loop {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                s += -(1.0 - u).ln() / rate;
+                if s >= phase_end_s {
+                    break;
+                }
+                events.push(TuningRequest {
+                    tenant,
+                    arrival_s: s,
+                });
+            }
+            t = phase_end_s;
+            on = !on;
+        }
+    }
+    events.sort_by(|a, b| {
+        a.arrival_s
+            .total_cmp(&b.arrival_s)
+            .then(a.tenant.cmp(&b.tenant))
+    });
+    events
+}
+
 /// Snapshot of the serving counters a drive derives its stats from.
 fn counter_snapshot<E: Evaluator>(service: &TuningService<E>) -> [u64; 10] {
     let obs = service.obs();
@@ -336,6 +423,73 @@ mod tests {
         assert_eq!(a.served, serial.served);
         assert_eq!(a.cache_hits, serial.cache_hits);
         assert_eq!(a.evaluated, serial.evaluated);
+    }
+
+    #[test]
+    fn bursty_arrivals_are_sorted_and_deterministic() {
+        let config = DriverConfig::smoke(5);
+        let profile = BurstProfile::aggressive();
+        let a = bursty_arrivals(&config, &profile);
+        let b = bursty_arrivals(&config, &profile);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for pair in a.windows(2) {
+            assert!(pair[0].arrival_s <= pair[1].arrival_s);
+        }
+        assert_ne!(
+            a,
+            bursty_arrivals(&DriverConfig::smoke(6), &profile),
+            "different seeds must differ"
+        );
+        assert_ne!(a, arrivals(&config), "burst stream has its own salt");
+    }
+
+    #[test]
+    fn bursts_are_overdispersed_versus_poisson() {
+        // index of dispersion (variance/mean of per-window counts):
+        // ≈1 for a plain Poisson stream, well above 1 for correlated
+        // bursts at the same base rate
+        let dispersion = |events: &[TuningRequest], duration_s: f64| {
+            let window_s = 5.0;
+            let windows = (duration_s / window_s).ceil() as usize;
+            let mut counts = vec![0.0f64; windows];
+            for e in events {
+                counts[((e.arrival_s / window_s) as usize).min(windows - 1)] += 1.0;
+            }
+            let mean = counts.iter().sum::<f64>() / windows as f64;
+            let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / windows as f64;
+            var / mean
+        };
+        let config = DriverConfig {
+            tenants: 16,
+            archetypes: 4,
+            duration_s: 600.0,
+            rate_per_tenant_hz: 0.2,
+            batch_window_s: 5.0,
+            seed: 23,
+        };
+        let plain = dispersion(&arrivals(&config), config.duration_s);
+        let bursty = dispersion(
+            &bursty_arrivals(&config, &BurstProfile::aggressive()),
+            config.duration_s,
+        );
+        assert!(plain < 3.0, "plain Poisson dispersion ≈ 1, got {plain}");
+        assert!(
+            bursty > 3.0 * plain,
+            "bursts must be overdispersed: bursty {bursty} vs plain {plain}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "burst multiplier")]
+    fn sub_unit_burst_multiplier_rejected() {
+        let _ = bursty_arrivals(
+            &DriverConfig::smoke(1),
+            &BurstProfile {
+                on_rate_multiplier: 0.5,
+                ..BurstProfile::aggressive()
+            },
+        );
     }
 
     #[test]

@@ -45,13 +45,33 @@ pub enum ServeError {
         /// Tenant whose breaker tripped.
         tenant: TenantId,
     },
+    /// The admission controller rejected the request: the tenant is
+    /// burning its SLO error budget too fast (hard shed), or is in the
+    /// degraded tier and demanded a fresh probe the cache could not
+    /// answer. Unlike [`ServeError::Shed`] this is *deliberate*
+    /// backpressure against this tenant, not global queue overflow —
+    /// blind retries would stampede a controller that is telling the
+    /// tenant to back off, so it is **not retryable** until the
+    /// carried hint elapses.
+    AdmissionRejected {
+        /// The over-budget tenant.
+        tenant: TenantId,
+        /// Backpressure hint: earliest sensible retry, milliseconds of
+        /// virtual time from the rejection (integer so the error stays
+        /// `Eq`).
+        retry_after_ms: u64,
+    },
 }
 
 impl ServeError {
     /// Is retrying this request (later, or against a healthy worker)
     /// worthwhile? Transient capacity and fault errors are retryable;
     /// contract errors (unknown tenant, infeasible SLA, empty
-    /// knowledge) never clear on their own.
+    /// knowledge) never clear on their own. An admission rejection is
+    /// also **not** retryable: the controller is deliberately shedding
+    /// this tenant, and an immediate retry (or a hedge) would stampede
+    /// the very backpressure protecting its neighbors — honor
+    /// [`ServeError::retry_after_ms`] instead.
     pub fn is_retryable(&self) -> bool {
         match self {
             ServeError::Shed { .. }
@@ -61,7 +81,18 @@ impl ServeError {
             ServeError::UnknownTenant(_)
             | ServeError::TenantExists(_)
             | ServeError::Infeasible(_)
-            | ServeError::EmptyKnowledge(_) => false,
+            | ServeError::EmptyKnowledge(_)
+            | ServeError::AdmissionRejected { .. } => false,
+        }
+    }
+
+    /// The backpressure hint carried by an admission rejection:
+    /// milliseconds of virtual time after which a retry becomes
+    /// sensible. `None` for every other error.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ServeError::AdmissionRejected { retry_after_ms, .. } => Some(*retry_after_ms),
+            _ => None,
         }
     }
 }
@@ -107,6 +138,16 @@ impl fmt::Display for ServeError {
             ServeError::CircuitOpen { tenant } => {
                 write!(f, "tenant {tenant}: circuit breaker open, failing fast")
             }
+            ServeError::AdmissionRejected {
+                tenant,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant}: admission rejected (SLO budget exhausted), \
+                     retry after {retry_after_ms} ms"
+                )
+            }
         }
     }
 }
@@ -133,6 +174,12 @@ mod tests {
         assert!(ServeError::CircuitOpen { tenant: 5 }
             .to_string()
             .contains("breaker open"));
+        let rejected = ServeError::AdmissionRejected {
+            tenant: 11,
+            retry_after_ms: 5000,
+        };
+        assert!(rejected.to_string().contains("tenant 11"));
+        assert!(rejected.to_string().contains("retry after 5000 ms"));
     }
 
     #[test]
@@ -145,6 +192,56 @@ mod tests {
         assert!(!ServeError::TenantExists(1).is_retryable());
         assert!(!ServeError::Infeasible(1).is_retryable());
         assert!(!ServeError::EmptyKnowledge(1).is_retryable());
+        assert!(
+            !ServeError::AdmissionRejected {
+                tenant: 1,
+                retry_after_ms: 1000,
+            }
+            .is_retryable(),
+            "a shedding controller must not be retried blind"
+        );
+    }
+
+    #[test]
+    fn retry_after_hint_surfaces_only_on_admission_rejections() {
+        let rejected = ServeError::AdmissionRejected {
+            tenant: 3,
+            retry_after_ms: 7500,
+        };
+        assert_eq!(rejected.retry_after_ms(), Some(7500));
+        assert_eq!(ServeError::Shed { capacity: 4 }.retry_after_ms(), None);
+        assert_eq!(ServeError::CircuitOpen { tenant: 3 }.retry_after_ms(), None);
+    }
+
+    /// The stampede guard: a hedged-retry client looping on
+    /// `is_retryable` — the exact stop condition of the nav server's
+    /// `try_serve_resilient` — must burn exactly ONE attempt against a
+    /// shedding tenant, while a transient fault still gets its full
+    /// retry budget.
+    #[test]
+    fn hedged_retries_do_not_stampede_a_shedding_tenant() {
+        fn drive_retries(error: ServeError, max_attempts: u32) -> u32 {
+            let mut attempts = 0;
+            for attempt in 1..=max_attempts {
+                attempts = attempt;
+                // mirror of `try_serve_resilient`'s loop: stop on a
+                // non-retryable error or an exhausted budget
+                if !error.is_retryable() || attempt == max_attempts {
+                    break;
+                }
+            }
+            attempts
+        }
+        let shedding = ServeError::AdmissionRejected {
+            tenant: 7,
+            retry_after_ms: 5000,
+        };
+        assert_eq!(drive_retries(shedding, 5), 1, "one attempt, then back off");
+        assert_eq!(
+            drive_retries(ServeError::WorkerFailed { worker: 0 }, 5),
+            5,
+            "transient faults keep their retry budget"
+        );
     }
 
     #[test]
@@ -156,5 +253,14 @@ mod tests {
         assert!(!terminal.is_retryable());
         let breaker: NavError = ServeError::CircuitOpen { tenant: 2 }.into();
         assert!(breaker.is_retryable(), "breaker opens clear after cooldown");
+        // the mapping is what stops `try_serve_resilient` from
+        // stampeding a shedding tenant through the nav retry path
+        let shed: NavError = ServeError::AdmissionRejected {
+            tenant: 4,
+            retry_after_ms: 5000,
+        }
+        .into();
+        assert!(!shed.is_retryable());
+        assert!(shed.to_string().contains("retry after 5000 ms"));
     }
 }

@@ -25,6 +25,8 @@
 //! they are appended, snapshots are atomic, and recovery = snapshot +
 //! ordered suffix.
 
+use crate::admission::{AdmissionController, TenantAdmission};
+use crate::autoscale::{Autoscaler, AutoscalerState};
 use crate::breaker::{BreakerBank, CircuitBreaker};
 use crate::cache::{DesignKey, DesignPointCache, Metrics};
 use crate::store::{mix64, Session, SessionStore, TenantId};
@@ -101,6 +103,27 @@ pub enum JournalEntry {
         /// The evicted design point.
         key: DesignKey,
     },
+    /// One admission-controller feedback window for a tenant: the
+    /// batch's SLO check/violation tally at the batch end time. Replay
+    /// calls the exact `update` the live path called, so EWMA burns
+    /// and tier transitions recover bit-identically.
+    AdmissionUpdate {
+        /// The tenant whose burn was updated.
+        tenant: TenantId,
+        /// Virtual batch end time of the window, seconds.
+        time_s: f64,
+        /// SLO checks the window produced for this tenant.
+        checked: u64,
+        /// How many of them violated (or were degraded probe demand).
+        violations: u64,
+    },
+    /// The autoscaler resized the pool's virtual capacity.
+    Scale {
+        /// Virtual decision time, seconds.
+        time_s: f64,
+        /// The new virtual worker capacity.
+        workers: usize,
+    },
 }
 
 impl JournalEntry {
@@ -112,8 +135,12 @@ impl JournalEntry {
             | JournalEntry::BreakerAllow { tenant, .. }
             | JournalEntry::Learn { tenant, .. }
             | JournalEntry::Reject { tenant, .. }
-            | JournalEntry::Adapt { tenant, .. } => mix64(*tenant),
+            | JournalEntry::Adapt { tenant, .. }
+            | JournalEntry::AdmissionUpdate { tenant, .. } => mix64(*tenant),
             JournalEntry::CacheInsert { key, .. } | JournalEntry::Quarantine { key } => key.seed(),
+            // capacity is global state: all scale decisions share one
+            // shard (ordering still comes from the global sequence)
+            JournalEntry::Scale { .. } => mix64(u64::MAX),
         }
     }
 }
@@ -204,15 +231,23 @@ pub struct Snapshot {
     pub cache: Vec<(DesignKey, Metrics)>,
     /// Every tenant's circuit breaker, sorted by tenant id.
     pub breakers: Vec<(TenantId, CircuitBreaker)>,
+    /// Every tenant's admission state, sorted by tenant id (empty
+    /// when the service runs without a front door).
+    pub admission: Vec<(TenantId, TenantAdmission)>,
+    /// The autoscaler's state (`None` without a front door).
+    pub autoscaler: Option<AutoscalerState>,
 }
 
 /// Captures a snapshot of the serving state at virtual time `at_s`.
+/// `front_door` carries the admission controller and autoscaler when
+/// the service runs one.
 pub fn take_snapshot(
     at_s: f64,
     journal: &Journal,
     store: &SessionStore,
     cache: &DesignPointCache,
     breakers: &BreakerBank,
+    front_door: Option<(&AdmissionController, &Autoscaler)>,
 ) -> Snapshot {
     Snapshot {
         at_s,
@@ -220,6 +255,10 @@ pub fn take_snapshot(
         sessions: store.dump(),
         cache: cache.entries(),
         breakers: breakers.snapshot(),
+        admission: front_door
+            .map(|(admission, _)| admission.snapshot())
+            .unwrap_or_default(),
+        autoscaler: front_door.map(|(_, autoscaler)| autoscaler.snapshot()),
     }
 }
 
@@ -228,7 +267,8 @@ pub fn take_snapshot(
 /// Entries must be in append order. `make_manager` rebuilds the
 /// registration-time manager of tenants whose `Register` landed after
 /// the snapshot — it must be the same deterministic factory the
-/// original registration used.
+/// original registration used. `front_door` receives admission and
+/// scaling entries; a service without one ignores them.
 ///
 /// Every application step is the exact call the service performed, so
 /// replay is bit-identical to the original execution.
@@ -237,6 +277,7 @@ pub fn replay<F>(
     store: &SessionStore,
     cache: &DesignPointCache,
     breakers: &BreakerBank,
+    front_door: Option<(&AdmissionController, &Autoscaler)>,
     make_manager: &F,
 ) where
     F: Fn(TenantId) -> AppManager,
@@ -303,6 +344,21 @@ pub fn replay<F>(
             }
             JournalEntry::Quarantine { key } => {
                 cache.quarantine(key);
+            }
+            JournalEntry::AdmissionUpdate {
+                tenant,
+                time_s,
+                checked,
+                violations,
+            } => {
+                if let Some((admission, _)) = front_door {
+                    let _ = admission.update(*tenant, *time_s, *checked, *violations);
+                }
+            }
+            JournalEntry::Scale { time_s, workers } => {
+                if let Some((_, autoscaler)) = front_door {
+                    autoscaler.force(*time_s, *workers);
+                }
             }
         }
     }
@@ -412,6 +468,7 @@ mod tests {
                 &direct_store,
                 &direct_cache,
                 &direct_breakers,
+                None,
                 &make_manager,
             );
         };
@@ -445,6 +502,7 @@ mod tests {
             &recovered_store,
             &recovered_cache,
             &recovered_breakers,
+            None,
             &make_manager,
         );
 
@@ -482,9 +540,9 @@ mod tests {
             metrics: metrics(0.1),
         };
         journal.append(early.clone());
-        replay(&[early], &store, &cache, &breakers, &make_manager);
+        replay(&[early], &store, &cache, &breakers, None, &make_manager);
 
-        let snapshot = take_snapshot(10.0, &journal, &store, &cache, &breakers);
+        let snapshot = take_snapshot(10.0, &journal, &store, &cache, &breakers, None);
         journal.compact(snapshot.through_seq);
         assert!(journal.is_empty());
 
@@ -493,7 +551,7 @@ mod tests {
             metrics: metrics(0.2),
         };
         journal.append(late.clone());
-        replay(&[late], &store, &cache, &breakers, &make_manager);
+        replay(&[late], &store, &cache, &breakers, None, &make_manager);
 
         // recover: snapshot first, then the suffix
         let r_store = SessionStore::new(2);
@@ -508,6 +566,7 @@ mod tests {
             &r_store,
             &r_cache,
             &r_breakers,
+            None,
             &make_manager,
         );
         assert_eq!(r_cache.entries(), cache.entries());
@@ -530,6 +589,7 @@ mod tests {
             &store,
             &cache,
             &breakers,
+            None,
             &make_manager,
         );
         assert!(cache.is_empty());

@@ -58,6 +58,8 @@
 //! );
 //! ```
 
+pub mod admission;
+pub mod autoscale;
 pub mod breaker;
 pub mod cache;
 pub mod chaos;
@@ -70,6 +72,8 @@ pub mod pool;
 pub mod service;
 pub mod store;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionTier};
+pub use autoscale::{AutoscaleConfig, Autoscaler};
 pub use breaker::{BreakerBank, BreakerConfig, CircuitBreaker};
 pub use cache::{probe_seed, DesignKey, DesignPointCache, ReferenceKey};
 pub use chaos::{ChaosConfig, HedgePolicy};
@@ -78,7 +82,7 @@ pub use journal::{Journal, JournalEntry, Snapshot};
 pub use obs::ServeObs;
 pub use pool::{EvalPool, PoolConfig};
 pub use service::{
-    BatchReport, Evaluator, ResilienceConfig, ServiceConfig, TuningRequest, TuningResponse,
-    TuningService,
+    BatchReport, Evaluator, FrontDoorConfig, ResilienceConfig, ServiceConfig, TuningRequest,
+    TuningResponse, TuningService,
 };
 pub use store::{Session, SessionStore, TenantId};

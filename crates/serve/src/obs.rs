@@ -10,7 +10,7 @@
 //! count; queueing shows up only in the `Timing`-scoped latency and
 //! makespan histograms.
 
-use antarex_obs::{Counter, Histogram, ObsPlane, Scope};
+use antarex_obs::{Counter, Gauge, Histogram, ObsPlane, Scope};
 use antarex_rtrm::powercap::PowercapObs;
 
 /// Nominal virtual width of a `select` span: PR 4's measured indexed
@@ -56,6 +56,11 @@ pub struct ServeObs {
     pub(crate) learns: Counter,
     pub(crate) adapts: Counter,
     pub(crate) breaker_trips: Counter,
+    pub(crate) admission_degraded: Counter,
+    pub(crate) admission_shed: Counter,
+    pub(crate) admission_transitions: Counter,
+    pub(crate) scale_events: Counter,
+    pub(crate) pool_capacity: Gauge,
     pub(crate) cache_hits: Counter,
     pub(crate) cache_misses: Counter,
     pub(crate) cache_quarantined: Counter,
@@ -91,6 +96,13 @@ impl ServeObs {
             learns: reg.counter("serve_learns_total", inv),
             adapts: reg.counter("serve_adapts_total", inv),
             breaker_trips: reg.counter("serve_breaker_trips_total", inv),
+            // front-door decisions key off work content and virtual
+            // time alone, so they are worker-count invariant too
+            admission_degraded: reg.counter("serve_admission_degraded_total", inv),
+            admission_shed: reg.counter("serve_admission_shed_total", inv),
+            admission_transitions: reg.counter("serve_admission_transitions_total", inv),
+            scale_events: reg.counter("serve_scale_events_total", inv),
+            pool_capacity: reg.gauge("serve_pool_capacity_workers", inv),
             cache_hits: reg.counter("serve_cache_hits_total", inv),
             cache_misses: reg.counter("serve_cache_misses_total", inv),
             cache_quarantined: reg.counter("serve_cache_quarantined_total", inv),
@@ -128,12 +140,29 @@ impl ServeObs {
         self.slo_latency_s
     }
 
+    /// Admission tier transitions recorded so far.
+    pub fn admission_transitions(&self) -> u64 {
+        self.admission_transitions.get()
+    }
+
+    /// Autoscaler resize events recorded so far.
+    pub fn scale_events(&self) -> u64 {
+        self.scale_events.get()
+    }
+
+    /// Current virtual pool capacity (workers the schedule runs on).
+    pub fn pool_capacity(&self) -> f64 {
+        self.pool_capacity.get()
+    }
+
     /// Checks one served response's virtual latency against the
-    /// tenant's latency SLO.
-    pub(crate) fn check_latency_slo(&self, tenant: u64, time_s: f64, latency_s: f64) {
+    /// tenant's latency SLO. Returns `true` when the SLO was met —
+    /// the admission controller consumes the complement as its
+    /// violation signal.
+    pub(crate) fn check_latency_slo(&self, tenant: u64, time_s: f64, latency_s: f64) -> bool {
         self.plane
             .slo
-            .check_upper(tenant, "latency", self.slo_latency_s, time_s, latency_s);
+            .check_upper(tenant, "latency", self.slo_latency_s, time_s, latency_s)
     }
 }
 

@@ -124,14 +124,38 @@ impl EvalPool {
     ///
     /// `probe` must be a pure function of the job — the contract that
     /// makes the parallel schedule invisible in the output.
-    pub fn evaluate_batch<F>(&self, mut jobs: Vec<EvalJob>, probe: &F) -> BatchOutcome
+    pub fn evaluate_batch<F>(&self, jobs: Vec<EvalJob>, probe: &F) -> BatchOutcome
     where
         F: Fn(&EvalJob) -> Evaluation + Sync,
     {
+        self.evaluate_batch_on(jobs, self.config.workers, probe)
+    }
+
+    /// [`evaluate_batch`](EvalPool::evaluate_batch) with an explicit
+    /// *virtual* core count for the replayed schedule — the
+    /// autoscaler's entry point. Physical parallelism stays at the
+    /// configured worker count; only the virtual list schedule (and
+    /// hence completion times and makespan) follows `virtual_workers`,
+    /// so a capacity change is a pure work-content decision and the
+    /// output stays byte-identical at any physical thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `virtual_workers` is zero.
+    pub fn evaluate_batch_on<F>(
+        &self,
+        mut jobs: Vec<EvalJob>,
+        virtual_workers: usize,
+        probe: &F,
+    ) -> BatchOutcome
+    where
+        F: Fn(&EvalJob) -> Evaluation + Sync,
+    {
+        assert!(virtual_workers > 0, "need at least one virtual worker");
         let admitted_count = jobs.len().min(self.config.queue_capacity);
         let shed = jobs.split_off(admitted_count);
         let evaluations = self.run_parallel(&jobs, probe);
-        let completions = virtual_schedule(&evaluations, self.config.workers);
+        let completions = virtual_schedule(&evaluations, virtual_workers);
         let makespan_s = completions.iter().cloned().fold(0.0, f64::max);
         let results = jobs
             .into_iter()
@@ -310,5 +334,30 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = PoolConfig::with_workers(0);
+    }
+
+    #[test]
+    fn virtual_capacity_overrides_schedule_not_parallelism() {
+        let jobs: Vec<EvalJob> = (0..64).map(job).collect();
+        let pool = EvalPool::new(PoolConfig::with_workers(4));
+        // 16 virtual cores on a 4-thread pool: the schedule follows
+        // the virtual count
+        let scaled = pool.evaluate_batch_on(jobs.clone(), 16, &probe);
+        assert!((scaled.makespan_s - 4.0).abs() < 1e-9);
+        // and the outcome is byte-identical to a pool physically
+        // configured with 16 workers
+        let native = EvalPool::new(PoolConfig {
+            workers: 16,
+            queue_capacity: 256,
+        })
+        .evaluate_batch(jobs, &probe);
+        assert_eq!(scaled, native);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual worker")]
+    fn zero_virtual_workers_rejected() {
+        let pool = EvalPool::new(PoolConfig::with_workers(2));
+        let _ = pool.evaluate_batch_on(vec![job(0)], 0, &probe);
     }
 }

@@ -11,6 +11,8 @@
 //! power demands aggregate into the cluster power manager's budget
 //! split.
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionTier};
+use crate::autoscale::{AutoscaleConfig, Autoscaler};
 use crate::breaker::{BreakerBank, BreakerConfig};
 use crate::cache::{DesignKey, DesignPointCache, Metrics};
 use crate::chaos::{chaos_schedule, ChaosConfig, HedgePolicy};
@@ -130,6 +132,34 @@ impl ResilienceConfig {
     }
 }
 
+/// The SLO-driven front door: admission-control tiers plus the
+/// evaluation pool's autoscaler. Optional — a service without one is
+/// byte-identical to the pre-front-door serving tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontDoorConfig {
+    /// Per-tenant burn-rate admission tiers.
+    pub admission: AdmissionConfig,
+    /// Virtual-capacity autoscaling of the evaluation pool.
+    pub autoscale: AutoscaleConfig,
+}
+
+impl FrontDoorConfig {
+    /// The hardened profile: both controllers at their hardened tuning.
+    pub fn hardened() -> Self {
+        FrontDoorConfig {
+            admission: AdmissionConfig::hardened(),
+            autoscale: AutoscaleConfig::hardened(),
+        }
+    }
+}
+
+/// The live front-door controllers of one service instance.
+#[derive(Debug)]
+struct FrontDoor {
+    admission: AdmissionController,
+    autoscaler: Autoscaler,
+}
+
 /// One tuning request.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TuningRequest {
@@ -168,6 +198,14 @@ pub struct BatchReport {
     pub evaluated: usize,
     /// Requests shed by admission control.
     pub shed: usize,
+    /// Requests answered in degraded (cache-only) mode by the SLO
+    /// front door.
+    pub degraded: usize,
+    /// Requests hard-shed by the SLO front door (tenant in the shed
+    /// tier).
+    pub admission_shed: usize,
+    /// Virtual worker capacity the batch's probes were scheduled on.
+    pub capacity: usize,
     /// Failed probe attempts re-dispatched with backoff (chaos mode).
     pub retries: u64,
     /// Hedge duplicates dispatched against stragglers (chaos mode).
@@ -190,6 +228,7 @@ pub struct TuningService<E> {
     journal: Option<Journal>,
     snapshot: Mutex<Option<Snapshot>>,
     next_snapshot_s: Mutex<f64>,
+    front_door: Option<FrontDoor>,
     obs: ServeObs,
 }
 
@@ -238,6 +277,7 @@ impl<E: Evaluator> TuningService<E> {
                 .then(|| Journal::new(config.store_shards)),
             snapshot: Mutex::new(None),
             next_snapshot_s: Mutex::new(interval),
+            front_door: None,
             obs,
         }
     }
@@ -251,6 +291,29 @@ impl<E: Evaluator> TuningService<E> {
         self
     }
 
+    /// Installs the SLO-driven front door: per-tenant admission tiers
+    /// (admit / degrade-to-cache / shed with a `retry_after` hint) fed
+    /// by each batch's SLO outcomes, plus an autoscaler that resizes
+    /// the pool's *virtual* worker capacity between configured bounds.
+    /// Both controllers run on virtual time and work content only, so
+    /// the fronted service stays byte-identical at any physical thread
+    /// count; their state is journaled and snapshotted for exact crash
+    /// recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either controller config is inconsistent (inverted
+    /// hysteresis thresholds, zero capacity).
+    pub fn with_front_door(mut self, front_door: FrontDoorConfig) -> Self {
+        let autoscaler = Autoscaler::new(front_door.autoscale);
+        self.obs.pool_capacity.set(autoscaler.capacity() as f64);
+        self.front_door = Some(FrontDoor {
+            admission: AdmissionController::new(front_door.admission),
+            autoscaler,
+        });
+        self
+    }
+
     /// Rebuilds a service after a crash from its persistent state: the
     /// last snapshot (if any) plus the journal suffix in append order.
     /// `make_manager` must be the deterministic factory original
@@ -260,10 +323,12 @@ impl<E: Evaluator> TuningService<E> {
     /// # Panics
     ///
     /// Panics if the config names zero shards, workers, or capacity.
+    #[allow(clippy::too_many_arguments)]
     pub fn recover<F>(
         config: ServiceConfig,
         resilience: ResilienceConfig,
         chaos: Option<ChaosConfig>,
+        front_door: Option<FrontDoorConfig>,
         evaluator: E,
         snapshot: Option<Snapshot>,
         entries: &[JournalEntry],
@@ -276,12 +341,22 @@ impl<E: Evaluator> TuningService<E> {
         if let Some(c) = chaos {
             service = service.with_chaos(c);
         }
+        if let Some(fd) = front_door {
+            service = service.with_front_door(fd);
+        }
         if let Some(snap) = &snapshot {
             service.store = SessionStore::recover(config.store_shards, snap.sessions.clone());
             for (key, metrics) in &snap.cache {
                 service.cache.insert(key.clone(), metrics.clone());
             }
             service.breakers.restore(&snap.breakers);
+            if let Some(fd) = &service.front_door {
+                fd.admission.restore(&snap.admission);
+                if let Some(state) = snap.autoscaler {
+                    fd.autoscaler.restore(state);
+                    service.obs.pool_capacity.set(state.capacity as f64);
+                }
+            }
             *lock_or_recover(&service.next_snapshot_s) =
                 snap.at_s + resilience.snapshot_interval_s();
         }
@@ -290,8 +365,18 @@ impl<E: Evaluator> TuningService<E> {
             &service.store,
             &service.cache,
             &service.breakers,
+            service
+                .front_door
+                .as_ref()
+                .map(|fd| (&fd.admission, &fd.autoscaler)),
             make_manager,
         );
+        if let Some(fd) = &service.front_door {
+            service
+                .obs
+                .pool_capacity
+                .set(fd.autoscaler.capacity() as f64);
+        }
         *lock_or_recover(&service.snapshot) = snapshot;
         service
     }
@@ -334,6 +419,16 @@ impl<E: Evaluator> TuningService<E> {
     /// The resilience profile in force.
     pub fn resilience(&self) -> ResilienceConfig {
         self.resilience
+    }
+
+    /// The admission controller, when a front door is installed.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.front_door.as_ref().map(|fd| &fd.admission)
+    }
+
+    /// The pool autoscaler, when a front door is installed.
+    pub fn autoscaler(&self) -> Option<&Autoscaler> {
+        self.front_door.as_ref().map(|fd| &fd.autoscaler)
     }
 
     /// The observability plane: metrics registry, span tracer, and
@@ -395,6 +490,23 @@ impl<E: Evaluator> TuningService<E> {
                 breaker.trips()
             );
         }
+        if let Some(fd) = &self.front_door {
+            for (tenant, state) in fd.admission.snapshot() {
+                let _ = writeln!(
+                    out,
+                    "admission {tenant}: {} burn={:.9} since={:.3}",
+                    state.tier.label(),
+                    state.burn,
+                    state.since_s,
+                );
+            }
+            let scaler = fd.autoscaler.snapshot();
+            let _ = writeln!(
+                out,
+                "autoscaler: capacity={} last_change={:.3} ups={} downs={}",
+                scaler.capacity, scaler.last_change_s, scaler.scale_ups, scaler.scale_downs,
+            );
+        }
         out
     }
 
@@ -429,7 +541,31 @@ impl<E: Evaluator> TuningService<E> {
         let mut pending: Vec<Pending> = Vec::with_capacity(requests.len());
         let mut jobs: Vec<EvalJob> = Vec::new();
         let mut job_of_key: BTreeMap<DesignKey, usize> = BTreeMap::new();
+        let mut degraded = 0usize;
+        let mut admission_shed = 0usize;
         for request in requests {
+            // the SLO front door runs first: a shed-tier tenant is
+            // rejected before it costs a breaker check, a select, or
+            // pool capacity — exactly one fail-fast path per request
+            let tier = self
+                .front_door
+                .as_ref()
+                .map(|fd| fd.admission.tier(request.tenant))
+                .unwrap_or(AdmissionTier::Admit);
+            if tier == AdmissionTier::Shed {
+                admission_shed += 1;
+                self.obs.admission_shed.inc();
+                let retry_after_ms = self
+                    .front_door
+                    .as_ref()
+                    .map(|fd| fd.admission.retry_after_ms(request.tenant))
+                    .unwrap_or(0);
+                pending.push(Pending::Err(ServeError::AdmissionRejected {
+                    tenant: request.tenant,
+                    retry_after_ms,
+                }));
+                continue;
+            }
             // fail fast for tenants whose circuit is open: the request
             // costs a breaker check, not pool capacity
             if breaker_on
@@ -467,6 +603,28 @@ impl<E: Evaluator> TuningService<E> {
             }
             let entry = match selected {
                 Err(e) | Ok(Err(e)) => Pending::Err(e),
+                Ok(Ok((config, features))) if tier == AdmissionTier::Degrade => {
+                    // degraded tier: cache-only service. A memoized
+                    // design point still answers (cheap, no pool), but
+                    // the tenant gets no fresh probe — cache-miss
+                    // demand is rejected and fed back as violation
+                    // pressure so a probe-hungry tenant escalates to
+                    // shed while a coasting one recovers
+                    degraded += 1;
+                    self.obs.admission_degraded.inc();
+                    let key = DesignKey::new(&config, &features);
+                    match self.cache.get(&key) {
+                        Some(metrics) => Pending::Hit(config, metrics),
+                        None => Pending::Err(ServeError::AdmissionRejected {
+                            tenant: request.tenant,
+                            retry_after_ms: self
+                                .front_door
+                                .as_ref()
+                                .map(|fd| fd.admission.retry_after_ms(request.tenant))
+                                .unwrap_or(0),
+                        }),
+                    }
+                }
                 Ok(Ok((config, features))) => {
                     let key = DesignKey::new(&config, &features);
                     if let Some(&job_id) = job_of_key.get(&key) {
@@ -502,15 +660,6 @@ impl<E: Evaluator> TuningService<E> {
             pending.push(entry);
         }
 
-        // 2. evaluate the deduplicated misses in parallel (the probes
-        // are pure and computed exactly once; under chaos only the
-        // virtual scheduling of those evaluations changes)
-        let evaluator = &self.evaluator;
-        let outcome = self.pool.evaluate_batch(jobs, &|job: &EvalJob| {
-            evaluator.evaluate(&job.config, &job.features)
-        });
-        let admitted = outcome.results.len();
-
         let batch_start_s = requests
             .iter()
             .map(|r| r.arrival_s)
@@ -520,6 +669,42 @@ impl<E: Evaluator> TuningService<E> {
         } else {
             0.0
         };
+
+        // autoscaling decision at the batch start: queue depth is this
+        // window's deduplicated probe demand, burn is the worst EWMA
+        // among still-admitted tenants. The decision resizes *virtual*
+        // capacity only — physical parallelism stays at the pool's
+        // config — so outputs stay byte-identical at any thread count.
+        let mut capacity = self.pool.config().workers;
+        if let Some(fd) = &self.front_door {
+            capacity = fd.autoscaler.capacity();
+            if !requests.is_empty() {
+                if let Some(resized) = fd.autoscaler.decide(
+                    batch_start_s,
+                    jobs.len(),
+                    fd.admission.max_admitted_burn(),
+                ) {
+                    capacity = resized;
+                    self.obs.scale_events.inc();
+                    self.obs.pool_capacity.set(resized as f64);
+                    self.journal_append(|| JournalEntry::Scale {
+                        time_s: batch_start_s,
+                        workers: resized,
+                    });
+                }
+            }
+        }
+
+        // 2. evaluate the deduplicated misses in parallel (the probes
+        // are pure and computed exactly once; under chaos only the
+        // virtual scheduling of those evaluations changes)
+        let evaluator = &self.evaluator;
+        let outcome = self
+            .pool
+            .evaluate_batch_on(jobs, capacity, &|job: &EvalJob| {
+                evaluator.evaluate(&job.config, &job.features)
+            });
+        let admitted = outcome.results.len();
         let mut retries = 0u64;
         let mut hedges = 0u64;
         let mut quarantined = 0u64;
@@ -540,7 +725,7 @@ impl<E: Evaluator> TuningService<E> {
                 let (outcomes, stats, makespan) = chaos_schedule(
                     &evaluations,
                     &poisoned,
-                    self.pool.config().workers,
+                    capacity,
                     batch_start_s,
                     chaos,
                     &self.resilience.hedge,
@@ -622,8 +807,16 @@ impl<E: Evaluator> TuningService<E> {
         let mut shed = 0;
         let mut touched: Vec<TenantId> = Vec::new();
         let mut batch_end_s = f64::NEG_INFINITY;
+        // per-tenant (checked, violations) the front door consumes at
+        // the batch end; every request's tenant gets an entry so a
+        // quiet (fully shed) tenant still decays toward readmission
+        let mut slo_tally: BTreeMap<TenantId, (u64, u64)> = BTreeMap::new();
+        let front_door_on = self.front_door.is_some();
         for (request, entry) in requests.iter().zip(pending) {
             batch_end_s = batch_end_s.max(request.arrival_s);
+            if front_door_on {
+                slo_tally.entry(request.tenant).or_default();
+            }
             // `work_s` is the request's worker-invariant span width: the
             // probe's compute cost for a fresh evaluation, the nominal
             // lookup cost for cache answers, zero for errors
@@ -698,8 +891,14 @@ impl<E: Evaluator> TuningService<E> {
                     }
                     self.obs.learns.add(metrics.len() as u64);
                     self.obs.latency.record(answer.latency_s);
-                    self.obs
-                        .check_latency_slo(request.tenant, arrival, answer.latency_s);
+                    let slo_met =
+                        self.obs
+                            .check_latency_slo(request.tenant, arrival, answer.latency_s);
+                    if front_door_on {
+                        let tally = slo_tally.entry(request.tenant).or_default();
+                        tally.0 += 1;
+                        tally.1 += u64::from(!slo_met);
+                    }
                     let select_end_s = arrival + SELECT_SPAN_S;
                     self.obs.plane.tracer.record(
                         "select",
@@ -749,14 +948,47 @@ impl<E: Evaluator> TuningService<E> {
                         shed += 1;
                     }
                     // classification mirrors the drive loop's: shed is
-                    // load, infrastructure faults are failures, tenant
+                    // load (queue overflow or deliberate backpressure),
+                    // infrastructure faults are failures, tenant
                     // contract errors are rejections
                     match e {
-                        ServeError::Shed { .. } => self.obs.shed.inc(),
+                        ServeError::Shed { .. } | ServeError::AdmissionRejected { .. } => {
+                            self.obs.shed.inc()
+                        }
                         ServeError::WorkerFailed { .. }
                         | ServeError::Deadline
                         | ServeError::CircuitOpen { .. } => self.obs.failed.inc(),
                         _ => self.obs.rejected.inc(),
+                    }
+                    if front_door_on {
+                        // feedback: an infrastructure failure burns the
+                        // tenant's budget (the service answered badly),
+                        // and unmet probe demand counts too — a queue
+                        // overflow on an admitted tenant, or a degraded
+                        // tenant's rejected cache miss. That is what
+                        // escalates an abuser to the shed tier: a
+                        // flooding tenant burns even while its probes
+                        // only ever overflow the queue, while a tenant
+                        // mostly served from cache dilutes the odd
+                        // overflow below the degrade threshold. A hard
+                        // shed contributes nothing, so a backed-off
+                        // tenant decays home.
+                        let burned = match &e {
+                            ServeError::WorkerFailed { .. }
+                            | ServeError::Deadline
+                            | ServeError::Shed { .. } => true,
+                            ServeError::AdmissionRejected { .. } => {
+                                self.front_door.as_ref().is_some_and(|fd| {
+                                    fd.admission.tier(request.tenant) == AdmissionTier::Degrade
+                                })
+                            }
+                            _ => false,
+                        };
+                        if burned {
+                            let tally = slo_tally.entry(request.tenant).or_default();
+                            tally.0 += 1;
+                            tally.1 += 1;
+                        }
                     }
                     // worker faults and missed deadlines say the eval
                     // path is unhealthy for this tenant; shed, open
@@ -805,6 +1037,29 @@ impl<E: Evaluator> TuningService<E> {
             });
         }
 
+        // feed the batch's SLO outcomes to the admission controller:
+        // one EWMA window per tenant at the batch end, journaled so
+        // replay reproduces every tier transition bit-identically
+        if let Some(fd) = &self.front_door {
+            if batch_end_s.is_finite() {
+                for (&tenant, &(checked, violations)) in &slo_tally {
+                    if fd
+                        .admission
+                        .update(tenant, batch_end_s, checked, violations)
+                        .is_some()
+                    {
+                        self.obs.admission_transitions.inc();
+                    }
+                    self.journal_append(|| JournalEntry::AdmissionUpdate {
+                        tenant,
+                        time_s: batch_end_s,
+                        checked,
+                        violations,
+                    });
+                }
+            }
+        }
+
         // 5. Daly-informed snapshot cadence: checkpoint the full state
         // and compact the journal once the interval has elapsed
         if let Some(journal) = &self.journal {
@@ -817,6 +1072,9 @@ impl<E: Evaluator> TuningService<E> {
                         &self.store,
                         &self.cache,
                         &self.breakers,
+                        self.front_door
+                            .as_ref()
+                            .map(|fd| (&fd.admission, &fd.autoscaler)),
                     );
                     journal.compact(snap.through_seq);
                     *lock_or_recover(&self.snapshot) = Some(snap);
@@ -833,6 +1091,9 @@ impl<E: Evaluator> TuningService<E> {
             makespan_s,
             evaluated: admitted,
             shed,
+            degraded,
+            admission_shed,
+            capacity,
             retries,
             hedges,
             quarantined,
@@ -1241,13 +1502,262 @@ mod tests {
         assert!(snapshot.is_some(), "Daly cadence must have snapshotted");
         assert!(!entries.is_empty(), "suffix after the snapshot expected");
         let recovered = TuningService::recover(
-            config, resilience, None, Probe, snapshot, &entries, &factory,
+            config, resilience, None, None, Probe, snapshot, &entries, &factory,
         );
         recovered.serve_batch(&batch_at(windows[4]));
 
         let report = recovered.state_report();
         assert!(!report.is_empty());
         assert_eq!(report, reference.state_report(), "recovery must be exact");
+    }
+
+    /// Front door + poisoned evaluator, breakers off: the tenant walks
+    /// the whole admission lifecycle — Admit → Degrade (cache-only) →
+    /// Shed (hard reject with a retry hint) → decay back to Degrade —
+    /// purely from the SLO feedback its own failing probes generate.
+    #[test]
+    fn front_door_walks_a_burning_tenant_through_the_tiers() {
+        let resilience = ResilienceConfig {
+            breaker: BreakerConfig::disabled(),
+            ..ResilienceConfig::hardened()
+        };
+        let service = TuningService::with_resilience(ServiceConfig::default(), resilience, Probe)
+            .with_chaos(ChaosConfig::new(quiet_schedule(4)).poison(9))
+            .with_front_door(FrontDoorConfig::hardened());
+        service.register_tenant(9, manager(), vec![1.0]).unwrap();
+        let admission = || service.admission().unwrap().tier(9);
+        let batch = |t: f64| {
+            service.serve_batch(&[TuningRequest {
+                tenant: 9,
+                arrival_s: t,
+            }])
+        };
+
+        // window 1: every probe attempt fails → all-violation window
+        let report = batch(0.0);
+        assert!(matches!(
+            report.responses[0],
+            Err(ServeError::WorkerFailed { .. })
+        ));
+        assert_eq!(admission(), AdmissionTier::Degrade, "one bad window");
+
+        // window 2: degraded and cache-empty → probe demand rejected,
+        // which burns further and escalates past the shed threshold
+        let report = batch(5.0);
+        assert_eq!(report.degraded, 1);
+        assert!(matches!(
+            &report.responses[0],
+            Err(ServeError::AdmissionRejected { tenant: 9, .. })
+        ));
+        assert_eq!(admission(), AdmissionTier::Shed);
+
+        // window 3: hard shed before select — carries a retry hint and
+        // contributes no burn, so the tenant starts to decay
+        let report = batch(10.0);
+        assert_eq!(report.admission_shed, 1);
+        assert_eq!(report.evaluated, 0);
+        let hint = report.responses[0].as_ref().unwrap_err().retry_after_ms();
+        assert!(hint.is_some_and(|ms| ms >= 5000), "hint {hint:?}");
+
+        // quiet windows: zero-sample decay de-escalates through the
+        // exit hysteresis back to degraded service
+        let mut tier = admission();
+        for round in 0..6 {
+            batch(15.0 + 5.0 * round as f64);
+            tier = admission();
+            if tier != AdmissionTier::Shed {
+                break;
+            }
+        }
+        assert_eq!(tier, AdmissionTier::Degrade, "shed must not be forever");
+    }
+
+    /// A tenant that is simultaneously over its SLO budget (shed tier)
+    /// and circuit-open fails fast through exactly ONE path: the front
+    /// door rejects before the breaker is consulted, so no extra
+    /// breaker trips, no `BreakerAllow` journal traffic, and exactly
+    /// one rejection is booked per request.
+    #[test]
+    fn shed_tier_and_open_breaker_fail_through_one_path() {
+        let service = TuningService::with_resilience(
+            ServiceConfig::default(),
+            ResilienceConfig::hardened(),
+            Probe,
+        )
+        .with_chaos(ChaosConfig::new(quiet_schedule(4)).poison(9))
+        .with_front_door(FrontDoorConfig::hardened());
+        service.register_tenant(9, manager(), vec![1.0]).unwrap();
+
+        // three failed attempts open the circuit (trips = 1) and the
+        // all-violation window degrades the tenant
+        service.serve_batch(&requests(&[9, 9, 9]));
+        assert_eq!(service.breakers().total_trips(), 1);
+        assert_eq!(service.admission().unwrap().tier(9), AdmissionTier::Degrade);
+        // degraded probe demand keeps burning until the shed threshold
+        let mut tier = AdmissionTier::Degrade;
+        for round in 1..6 {
+            service.serve_batch(&[TuningRequest {
+                tenant: 9,
+                arrival_s: 5.0 * round as f64,
+            }]);
+            tier = service.admission().unwrap().tier(9);
+            if tier == AdmissionTier::Shed {
+                break;
+            }
+        }
+        assert_eq!(tier, AdmissionTier::Shed);
+        let trips_before = service.breakers().total_trips();
+        let rejected_before = service.store().with(9, |s| s.rejected).unwrap();
+
+        let report = service.serve_batch(&[TuningRequest {
+            tenant: 9,
+            arrival_s: 60.0,
+        }]);
+        // the admission rejection wins; the breaker is never consulted
+        assert!(matches!(
+            &report.responses[0],
+            Err(ServeError::AdmissionRejected { tenant: 9, .. })
+        ));
+        assert_eq!(report.admission_shed, 1);
+        assert_eq!(report.evaluated, 0);
+        assert_eq!(service.breakers().total_trips(), trips_before);
+        assert_eq!(
+            service.store().with(9, |s| s.rejected).unwrap(),
+            rejected_before + 1,
+            "exactly one rejection booked"
+        );
+    }
+
+    #[test]
+    fn autoscaler_grows_capacity_under_probe_pressure() {
+        let service = TuningService::new(ServiceConfig::default(), Probe)
+            .with_front_door(FrontDoorConfig::hardened());
+        // 24 tenants with distinct features → 24 distinct probes in one
+        // window: 6 per virtual worker exceeds queue_high = 4
+        for tenant in 0..24u64 {
+            service
+                .register_tenant(tenant, manager(), vec![1.0 + 0.01 * tenant as f64])
+                .unwrap();
+        }
+        let batch: Vec<TuningRequest> = (0..24u64)
+            .map(|t| TuningRequest {
+                tenant: t,
+                arrival_s: 0.1 * t as f64,
+            })
+            .collect();
+        let report = service.serve_batch(&batch);
+        assert_eq!(report.capacity, 8, "4 doubled under pressure");
+        assert_eq!(service.autoscaler().unwrap().capacity(), 8);
+        assert_eq!(service.obs().pool_capacity.get(), 8.0);
+        // calm traffic after the cooldown shrinks capacity additively
+        let report = service.serve_batch(&[TuningRequest {
+            tenant: 0,
+            arrival_s: 10.0,
+        }]);
+        assert_eq!(report.capacity, 7);
+    }
+
+    #[test]
+    fn front_door_outputs_are_physical_worker_invariant() {
+        let run = |workers: usize| {
+            let service = TuningService::new(
+                ServiceConfig {
+                    pool: PoolConfig {
+                        workers,
+                        queue_capacity: 256,
+                    },
+                    ..ServiceConfig::default()
+                },
+                Probe,
+            )
+            .with_front_door(FrontDoorConfig::hardened());
+            for tenant in 0..24u64 {
+                service
+                    .register_tenant(tenant, manager(), vec![1.0 + 0.01 * tenant as f64])
+                    .unwrap();
+            }
+            let mut reports = Vec::new();
+            for round in 0..4 {
+                let batch: Vec<TuningRequest> = (0..24u64)
+                    .map(|t| TuningRequest {
+                        tenant: t,
+                        arrival_s: 5.0 * round as f64 + 0.1 * t as f64,
+                    })
+                    .collect();
+                reports.push(service.serve_batch(&batch));
+            }
+            (reports, service.state_report())
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one, eight, "virtual capacity must decouple from threads");
+    }
+
+    #[test]
+    fn crash_recovery_restores_front_door_state_bit_identically() {
+        fn factory(_tenant: TenantId) -> AppManager {
+            manager()
+        }
+        let config = ServiceConfig::default();
+        let resilience = ResilienceConfig::hardened();
+        let front_door = FrontDoorConfig::hardened();
+        let build = || {
+            let service = TuningService::with_resilience(config, resilience, Probe)
+                .with_chaos(ChaosConfig::new(quiet_schedule(4)).poison(2))
+                .with_front_door(front_door);
+            for tenant in 0..4u64 {
+                service
+                    .register_tenant(tenant, factory(tenant), vec![1.0 + (tenant % 2) as f64])
+                    .unwrap();
+            }
+            service
+        };
+        // tenant 2 is poisoned: its windows burn, driving admission
+        // tier transitions; 26 distinct-feature probes per window would
+        // push the autoscaler as well via the shared cache misses
+        let batch_at = |t0: f64| -> Vec<TuningRequest> {
+            (0..4u64)
+                .map(|tenant| TuningRequest {
+                    tenant,
+                    arrival_s: t0 + 0.5 * tenant as f64,
+                })
+                .collect()
+        };
+        let windows = [0.0, 6.0, 20.0, 30.0, 36.0];
+
+        let reference = build();
+        for &t0 in &windows {
+            reference.serve_batch(&batch_at(t0));
+        }
+        let reference_report = reference.state_report();
+        assert!(
+            reference_report.contains("admission 2:"),
+            "poisoned tenant must have admission state:\n{reference_report}"
+        );
+        assert!(reference_report.contains("autoscaler: capacity="));
+
+        let victim = build();
+        for &t0 in &windows[..4] {
+            victim.serve_batch(&batch_at(t0));
+        }
+        let (snapshot, entries) = victim.crash();
+        assert!(snapshot.is_some(), "Daly cadence must have snapshotted");
+        let recovered = TuningService::recover(
+            config,
+            resilience,
+            Some(ChaosConfig::new(quiet_schedule(4)).poison(2)),
+            Some(front_door),
+            Probe,
+            snapshot,
+            &entries,
+            &factory,
+        );
+        recovered.serve_batch(&batch_at(windows[4]));
+        assert_eq!(
+            recovered.state_report(),
+            reference_report,
+            "front-door state must recover exactly"
+        );
     }
 
     #[test]
@@ -1266,7 +1776,7 @@ mod tests {
         let (snapshot, entries) = service.crash();
         assert!(snapshot.is_none());
         let recovered = TuningService::recover(
-            config, resilience, None, Probe, snapshot, &entries, &factory,
+            config, resilience, None, None, Probe, snapshot, &entries, &factory,
         );
         assert_eq!(recovered.state_report(), before);
         assert_eq!(recovered.store().with(3, |s| s.requests).unwrap(), 2);
