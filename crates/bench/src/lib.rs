@@ -32,6 +32,7 @@
 //! | p1 | —      | hot-path data plane: indexed select, structural cache keys, parallel DSE |
 //! | o1 | —      | observability plane: worker-invariant traces, dual accounting, SLO burn |
 //! | ad1 | —     | SLO front door: admission tiers, overload shedding, virtual autoscaling |
+//! | v1 | —      | metered bytecode VM: engine equivalence, fused meters, code-cache replay |
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -46,6 +47,7 @@ pub mod resiliency;
 pub mod serve_exp;
 pub mod tuner_exp;
 pub mod use_cases;
+pub mod vm_exp;
 
 /// One registered experiment.
 pub struct Experiment {
@@ -170,6 +172,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "SLO front door — admission tiers, overload shedding, virtual autoscaling",
             run: admission_exp::ad1_admission_control,
         },
+        Experiment {
+            id: "v1",
+            title: "metered bytecode VM — engine equivalence, fused meters, code-cache replay",
+            run: vm_exp::v1_vm_equivalence,
+        },
     ]
 }
 
@@ -241,7 +248,7 @@ mod tests {
                 assert_ne!(a.id, b.id);
             }
         }
-        assert_eq!(experiments.len(), 22);
+        assert_eq!(experiments.len(), 23);
     }
 
     #[test]

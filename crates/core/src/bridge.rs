@@ -1,21 +1,22 @@
 //! Bridging woven kernels onto the simulated platform.
 //!
-//! The tool flow's two halves meet here: the mini-C interpreter measures a
-//! kernel's *demand* (flops, memory traffic), and the platform simulator
-//! turns demand into *time and energy* on a concrete node at a concrete
-//! P-state. This is how a DSL-level decision (unroll, specialize, reduce
-//! precision) becomes a joule number the RTRM can reason about.
+//! The tool flow's two halves meet here: the metered execution engine
+//! measures a kernel's *demand* (flops, memory traffic), and the platform
+//! simulator turns demand into *time and energy* on a concrete node at a
+//! concrete P-state. This is how a DSL-level decision (unroll, specialize,
+//! reduce precision) becomes a joule number the RTRM can reason about.
 
 use crate::flow::FlowError;
 use antarex_ir::cost::ExecStats;
-use antarex_ir::interp::{ExecEnv, Interp};
+use antarex_ir::interp::ExecEnv;
 use antarex_ir::value::Value;
 use antarex_ir::Program;
 use antarex_sim::job::WorkUnit;
 use antarex_sim::node::{ExecOutcome, Node};
+use antarex_vm::Vm;
 
-/// Demand profile of one kernel invocation, as measured by the
-/// interpreter.
+/// Demand profile of one kernel invocation, as measured by the metered
+/// execution engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelProfile {
     /// Interpreter statistics of the profiling run.
@@ -26,7 +27,8 @@ pub struct KernelProfile {
 
 /// Profiles `function` of `program` on the given arguments, deriving the
 /// platform work unit: FLOPs map one-to-one; each array access moves one
-/// 8-byte double.
+/// 8-byte double. Runs on the bytecode VM (bit-identical statistics to
+/// the reference interpreter, an order of magnitude faster to collect).
 ///
 /// # Errors
 ///
@@ -36,9 +38,9 @@ pub fn profile_kernel(
     function: &str,
     args: &[Value],
 ) -> Result<KernelProfile, FlowError> {
-    let mut interp = Interp::new(program.clone());
+    let mut vm = Vm::new(program.clone());
     let mut env = ExecEnv::new();
-    interp.call(function, args, &mut env)?;
+    vm.call(function, args, &mut env)?;
     let stats = env.stats;
     let work = WorkUnit::new(stats.flops as f64, stats.mem_ops as f64 * 8.0);
     Ok(KernelProfile { stats, work })
@@ -93,6 +95,17 @@ mod tests {
         assert_eq!(profile.stats.flops, 128, "64 mul + 64 add");
         assert_eq!(profile.work.flops, 128.0);
         assert_eq!(profile.work.bytes, 128.0 * 8.0, "two loads per iteration");
+    }
+
+    #[test]
+    fn profile_matches_the_reference_interpreter() {
+        // the profile feeding the simulator must not depend on the engine
+        let program = parse_program(DOT_KERNEL).unwrap();
+        let vm_profile = profile_kernel(&program, "dot", &dot_args(64)).unwrap();
+        let mut interp = antarex_ir::interp::Interp::new(program);
+        let mut env = ExecEnv::new();
+        interp.call("dot", &dot_args(64), &mut env).unwrap();
+        assert_eq!(vm_profile.stats, env.stats);
     }
 
     #[test]

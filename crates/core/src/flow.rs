@@ -5,7 +5,8 @@ use antarex_dsl::{parse_aspects, DslError, DslValue};
 use antarex_ir::cost::ExecStats;
 use antarex_ir::interp::{ExecEnv, HostFn, Interp};
 use antarex_ir::value::Value;
-use antarex_ir::{parse_program, IrError, Program};
+use antarex_ir::{parse_program, Executor, IrError, Program};
+use antarex_vm::Vm;
 use antarex_weaver::VersionStore;
 use std::cell::RefCell;
 use std::fmt;
@@ -120,14 +121,26 @@ impl ToolFlow {
     }
 
     /// Finishes design time: deploys the woven program with the dynamic
-    /// weaver installed as the call dispatcher.
+    /// weaver installed as the call dispatcher, executing on the metered
+    /// bytecode VM (the fast engine; bit-identical to the interpreter).
     pub fn deploy(self) -> Runtime {
+        self.deploy_on(Box::new(Vm::new(Program::new())))
+    }
+
+    /// As [`ToolFlow::deploy`], but on the tree-walking interpreter (the
+    /// executable reference engine) — useful for engine-equivalence
+    /// checks and debugging.
+    pub fn deploy_interpreted(self) -> Runtime {
+        self.deploy_on(Box::new(Interp::new(Program::new())))
+    }
+
+    fn deploy_on(self, mut engine: Box<dyn Executor>) -> Runtime {
         let store = self.weaver.store();
         let dynamic = self.weaver.into_dynamic();
-        let mut interp = Interp::new(self.program);
-        interp.set_dispatcher(Box::new(dynamic));
+        *engine.program_mut() = self.program;
+        engine.set_dispatcher(Box::new(dynamic));
         Runtime {
-            interp,
+            engine,
             store,
             env: ExecEnv::new(),
         }
@@ -136,7 +149,7 @@ impl ToolFlow {
 
 /// The runtime half: the deployed application under dynamic weaving.
 pub struct Runtime {
-    interp: Interp,
+    engine: Box<dyn Executor>,
     store: Rc<RefCell<VersionStore>>,
     env: ExecEnv,
 }
@@ -144,7 +157,8 @@ pub struct Runtime {
 impl fmt::Debug for Runtime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Runtime")
-            .field("functions", &self.interp.program().function_names())
+            .field("engine", &self.engine.engine_name())
+            .field("functions", &self.engine.program().function_names())
             .field("total_stats", &self.env.stats)
             .finish()
     }
@@ -163,14 +177,19 @@ impl Runtime {
         args: &[Value],
     ) -> Result<(Value, ExecStats), FlowError> {
         let mut env = ExecEnv::new();
-        let value = self.interp.call(function, args, &mut env)?;
+        let value = self.engine.call(function, args, &mut env)?;
         self.env.stats.merge(&env.stats);
         Ok((value, env.stats))
     }
 
     /// Registers a host (instrumentation) function.
     pub fn register_host(&mut self, name: impl Into<String>, f: HostFn) {
-        self.interp.register_host(name, f);
+        self.engine.register_host(name.into(), f);
+    }
+
+    /// The execution engine backing this runtime (`"vm"` / `"interp"`).
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.engine_name()
     }
 
     /// Cumulative statistics across all calls.
@@ -180,7 +199,7 @@ impl Runtime {
 
     /// The running program (it grows as dynamic weaving adds versions).
     pub fn program(&self) -> &Program {
-        self.interp.program()
+        self.engine.program()
     }
 
     /// Specialized versions registered for a function so far.
@@ -254,6 +273,40 @@ mod tests {
         runtime.call("sumsq16", &[buf]).unwrap();
         assert!(runtime.total_stats().flops >= 64);
         assert_eq!(*calls.borrow(), 0, "aspect matched nothing: no probes");
+    }
+
+    #[test]
+    fn deploy_engines_are_equivalent() {
+        // the default (VM) and reference (interp) deployments must agree
+        // on values and statistics for the same woven program
+        let aspects = format!("{FIG4_SPECIALIZE_KERNEL}\n{FIG3_UNROLL_INNERMOST_LOOPS}");
+        let run = |deploy_interp: bool| {
+            let mut flow = ToolFlow::new(DYNAMIC_KERNEL, &aspects).unwrap();
+            flow.weave("SpecializeKernel", &[DslValue::Int(4), DslValue::Int(64)])
+                .unwrap();
+            let mut runtime = if deploy_interp {
+                flow.deploy_interpreted()
+            } else {
+                flow.deploy()
+            };
+            let buf = Value::from(vec![0.5; 32]);
+            let (v1, s1) = runtime.call("run", &[buf.clone(), Value::Int(32)]).unwrap();
+            let (v2, s2) = runtime.call("run", &[buf, Value::Int(32)]).unwrap();
+            (v1, s1, v2, s2)
+        };
+        let (iv1, is1, iv2, is2) = run(true);
+        let (vv1, vs1, vv2, vs2) = run(false);
+        assert_eq!(iv1, vv1);
+        assert_eq!(iv2, vv2);
+        assert_eq!(is1, vs1, "first-call stats must be identical");
+        assert_eq!(is2, vs2, "cached-version stats must be identical");
+    }
+
+    #[test]
+    fn deploy_defaults_to_the_vm() {
+        let flow = ToolFlow::new("int f() { return 1; }", "aspectdef A\nend").unwrap();
+        let runtime = flow.deploy();
+        assert_eq!(runtime.engine_name(), "vm");
     }
 
     #[test]

@@ -8,6 +8,15 @@
 //! needs: they are *monotone* in work performed, and they expose the
 //! overheads the paper's transformations remove (loop control for
 //! unrolling, call dispatch for specialization).
+//!
+//! Accumulation is overflow-guarded: the cost counter accrues through
+//! [`ExecStats::charge`], which returns [`IrError::CostOverflow`] instead
+//! of wrapping when an adversarial cost model or loop bound would
+//! overflow `u64`, and the event counters saturate. Both execution
+//! engines (the tree-walking interpreter and the bytecode VM) go through
+//! the same entry points, so they fail identically.
+
+use crate::error::IrError;
 
 /// Per-operation cost table, in abstract cost units.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,15 +108,42 @@ impl ExecStats {
         Self::default()
     }
 
-    /// Adds another statistics record into this one.
+    /// Adds another statistics record into this one (saturating — merging
+    /// reports never panics or wraps, even near the counter ceiling).
     pub fn merge(&mut self, other: &ExecStats) {
-        self.cost += other.cost;
-        self.flops += other.flops;
+        self.cost = self.cost.saturating_add(other.cost);
+        self.flops = self.flops.saturating_add(other.flops);
         self.flop_energy += other.flop_energy;
-        self.mem_ops += other.mem_ops;
-        self.calls += other.calls;
-        self.host_calls += other.host_calls;
-        self.loop_iters += other.loop_iters;
+        self.mem_ops = self.mem_ops.saturating_add(other.mem_ops);
+        self.calls = self.calls.saturating_add(other.calls);
+        self.host_calls = self.host_calls.saturating_add(other.host_calls);
+        self.loop_iters = self.loop_iters.saturating_add(other.loop_iters);
+    }
+
+    /// Accrues `amount` cost units, failing with
+    /// [`IrError::CostOverflow`] instead of wrapping. Every cost charge in
+    /// both execution engines routes through here so an adversarial cost
+    /// model (e.g. `u64::MAX` per op) produces a typed error rather than
+    /// a silently reset counter.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::CostOverflow`] when the counter would exceed `u64::MAX`.
+    #[inline]
+    pub fn charge(&mut self, amount: u64) -> Result<(), IrError> {
+        self.cost = self.cost.checked_add(amount).ok_or(IrError::CostOverflow)?;
+        Ok(())
+    }
+
+    /// Counts `n` floating-point operations whose destination has
+    /// precision-energy weight `unit` (see [`ExecStats::flop_energy`]).
+    /// The flop counter saturates; the energy sum is a single `f64`
+    /// addition of `n · unit`, matching the interpreter's historical
+    /// accumulation order bit-for-bit.
+    #[inline]
+    pub fn count_flops(&mut self, n: u64, unit: f64) {
+        self.flops = self.flops.saturating_add(n);
+        self.flop_energy += n as f64 * unit;
     }
 
     /// Arithmetic intensity: FLOPs per memory operation (`None` when no
@@ -165,5 +201,46 @@ mod tests {
     #[test]
     fn free_instrumentation_zeroes_host_cost() {
         assert_eq!(CostModel::new().free_instrumentation().host_call, 0);
+    }
+
+    #[test]
+    fn charge_overflows_to_typed_error() {
+        let mut s = ExecStats::new();
+        s.charge(u64::MAX - 1).unwrap();
+        assert_eq!(s.charge(2), Err(IrError::CostOverflow));
+        // the counter is left at its pre-overflow value, not wrapped
+        assert_eq!(s.cost, u64::MAX - 1);
+        s.charge(1).unwrap();
+        assert_eq!(s.cost, u64::MAX);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = ExecStats {
+            cost: u64::MAX - 5,
+            loop_iters: u64::MAX,
+            ..ExecStats::default()
+        };
+        a.merge(&ExecStats {
+            cost: 100,
+            loop_iters: 3,
+            ..ExecStats::default()
+        });
+        assert_eq!(a.cost, u64::MAX);
+        assert_eq!(a.loop_iters, u64::MAX);
+    }
+
+    #[test]
+    fn count_flops_matches_bulk_accumulation() {
+        let mut a = ExecStats::new();
+        a.count_flops(4, 0.25);
+        assert_eq!(a.flops, 4);
+        assert_eq!(a.flop_energy, 1.0);
+        let mut b = ExecStats {
+            flops: u64::MAX,
+            ..ExecStats::default()
+        };
+        b.count_flops(2, 1.0);
+        assert_eq!(b.flops, u64::MAX);
     }
 }

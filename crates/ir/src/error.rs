@@ -14,12 +14,16 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IrError {
-    /// The source text failed to parse; carries line/column and a message.
+    /// The source text failed to parse; carries the span of the offending
+    /// token.
     Parse {
         /// 1-based line of the offending token.
         line: u32,
         /// 1-based column of the offending token.
         col: u32,
+        /// 1-based exclusive end column of the offending token on `line`.
+        /// Equal to `col` for point errors (e.g. end of input).
+        end_col: u32,
         /// Human-readable description of what was expected.
         message: String,
     },
@@ -32,6 +36,12 @@ pub enum IrError {
         /// The configured limit in abstract cost units.
         limit: u64,
     },
+    /// The cost counter itself overflowed `u64` — an adversarial cost
+    /// model or loop bound tried to wrap the accounting. Raised by the
+    /// checked accumulation in [`crate::cost::ExecStats::charge`], so both
+    /// execution engines report it identically instead of silently
+    /// wrapping the cycle counter.
+    CostOverflow,
     /// Generic evaluation failure (division by zero, bad index, ...).
     Eval(String),
     /// A structural edit addressed a node path that does not exist.
@@ -39,12 +49,35 @@ pub enum IrError {
 }
 
 impl IrError {
-    /// Convenience constructor for parse errors.
+    /// Convenience constructor for point parse errors (span of width zero).
     pub fn parse(line: u32, col: u32, message: impl Into<String>) -> Self {
         IrError::Parse {
             line,
             col,
+            end_col: col,
             message: message.into(),
+        }
+    }
+
+    /// Constructor for parse errors covering a token span
+    /// `[col, end_col)` on `line`.
+    pub fn parse_span(line: u32, col: u32, end_col: u32, message: impl Into<String>) -> Self {
+        IrError::Parse {
+            line,
+            col,
+            end_col,
+            message: message.into(),
+        }
+    }
+
+    /// The source span of a parse error as `(line, col, end_col)`, if this
+    /// is a parse error.
+    pub fn span(&self) -> Option<(u32, u32, u32)> {
+        match self {
+            IrError::Parse {
+                line, col, end_col, ..
+            } => Some((*line, *col, *end_col)),
+            _ => None,
         }
     }
 }
@@ -52,13 +85,28 @@ impl IrError {
 impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IrError::Parse { line, col, message } => {
-                write!(f, "parse error at {line}:{col}: {message}")
+            IrError::Parse {
+                line,
+                col,
+                end_col,
+                message,
+            } => {
+                if *end_col > col + 1 {
+                    write!(f, "parse error at {line}:{col}-{end_col}: {message}")
+                } else {
+                    write!(f, "parse error at {line}:{col}: {message}")
+                }
             }
             IrError::Unresolved(name) => write!(f, "unresolved name `{name}`"),
             IrError::Type(msg) => write!(f, "type error: {msg}"),
             IrError::BudgetExceeded { limit } => {
                 write!(f, "execution budget of {limit} cost units exceeded")
+            }
+            IrError::CostOverflow => {
+                write!(
+                    f,
+                    "cost counter overflowed (adversarial cost model or loop bound)"
+                )
             }
             IrError::Eval(msg) => write!(f, "evaluation error: {msg}"),
             IrError::BadPath(msg) => write!(f, "invalid node path: {msg}"),
@@ -78,6 +126,26 @@ mod tests {
         assert_eq!(err.to_string(), "parse error at 3:7: expected `)`");
         let err = IrError::Unresolved("kernel".into());
         assert_eq!(err.to_string(), "unresolved name `kernel`");
+    }
+
+    #[test]
+    fn spanned_errors_render_the_range() {
+        let err = IrError::parse_span(2, 5, 9, "expected type");
+        assert_eq!(err.to_string(), "parse error at 2:5-9: expected type");
+        assert_eq!(err.span(), Some((2, 5, 9)));
+        assert_eq!(IrError::CostOverflow.span(), None);
+    }
+
+    #[test]
+    fn point_span_renders_like_before() {
+        // a one-column token renders without the range suffix
+        let err = IrError::parse_span(1, 4, 5, "expected `;`");
+        assert_eq!(err.to_string(), "parse error at 1:4: expected `;`");
+    }
+
+    #[test]
+    fn cost_overflow_displays() {
+        assert!(IrError::CostOverflow.to_string().contains("overflow"));
     }
 
     #[test]

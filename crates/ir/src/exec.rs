@@ -1,0 +1,109 @@
+//! The [`Executor`] abstraction: one interface over both execution
+//! engines.
+//!
+//! The workspace has two ways to run a mini-C program: the tree-walking
+//! [`Interp`] (the executable reference) and the
+//! metered bytecode VM in `antarex-vm` (the fast path). Consumers —
+//! `core::flow`, the precision tuner, the serving tier — program against
+//! this trait so an engine is a constructor choice, not an API fork. The
+//! two engines are required to be bit-identical in observable behaviour
+//! (values, [`crate::cost::ExecStats`], host-call traces, errors); the
+//! differential suite in `antarex-vm` enforces that.
+
+use crate::ast::Program;
+use crate::error::IrError;
+use crate::interp::{Dispatcher, ExecEnv, HostFn, Interp};
+use crate::value::Value;
+
+/// A mini-C execution engine.
+///
+/// Implemented by the tree-walking interpreter here and by the bytecode
+/// VM in `antarex-vm`. All methods mirror the historical `Interp` API so
+/// switching engines is mechanical.
+pub trait Executor {
+    /// Calls a function by name; statistics accrue into `env.stats`.
+    ///
+    /// # Errors
+    ///
+    /// * [`IrError::Unresolved`] — unknown function.
+    /// * [`IrError::Type`] / [`IrError::Eval`] — dynamic errors.
+    /// * [`IrError::BudgetExceeded`] — the work budget was exhausted.
+    /// * [`IrError::CostOverflow`] — cost accounting overflowed.
+    fn call(&mut self, name: &str, args: &[Value], env: &mut ExecEnv) -> Result<Value, IrError>;
+
+    /// Registers a host (intrinsic) function callable from mini-C code,
+    /// returning any previous registration under the name.
+    fn register_host(&mut self, name: String, f: HostFn) -> Option<HostFn>;
+
+    /// Sets (or clears) the execution budget in cost units.
+    fn set_budget(&mut self, budget: Option<u64>);
+
+    /// Installs the dynamic-weaving dispatcher.
+    fn set_dispatcher(&mut self, dispatcher: Box<dyn Dispatcher>);
+
+    /// The program being executed (it may grow under dynamic weaving).
+    fn program(&self) -> &Program;
+
+    /// Mutable access to the program (design-time edits between runs).
+    fn program_mut(&mut self) -> &mut Program;
+
+    /// A short engine identifier for reports (`"interp"` / `"vm"`).
+    fn engine_name(&self) -> &'static str;
+}
+
+impl Executor for Interp {
+    fn call(&mut self, name: &str, args: &[Value], env: &mut ExecEnv) -> Result<Value, IrError> {
+        Interp::call(self, name, args, env)
+    }
+
+    fn register_host(&mut self, name: String, f: HostFn) -> Option<HostFn> {
+        Interp::register_host(self, name, f)
+    }
+
+    fn set_budget(&mut self, budget: Option<u64>) {
+        Interp::set_budget(self, budget)
+    }
+
+    fn set_dispatcher(&mut self, dispatcher: Box<dyn Dispatcher>) {
+        Interp::set_dispatcher(self, dispatcher)
+    }
+
+    fn program(&self) -> &Program {
+        Interp::program(self)
+    }
+
+    fn program_mut(&mut self) -> &mut Program {
+        Interp::program_mut(self)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "interp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn interp_implements_executor() {
+        let program = parse_program("int inc(int x) { return x + 1; }").unwrap();
+        let mut engine: Box<dyn Executor> = Box::new(Interp::new(program));
+        assert_eq!(engine.engine_name(), "interp");
+        let mut env = ExecEnv::new();
+        let out = engine.call("inc", &[Value::Int(41)], &mut env).unwrap();
+        assert_eq!(out, Value::Int(42));
+        assert!(env.stats.cost > 0);
+        assert!(engine.program().contains("inc"));
+    }
+
+    #[test]
+    fn executor_budget_is_respected() {
+        let program = parse_program("void f() { while (1) { } }").unwrap();
+        let mut engine: Box<dyn Executor> = Box::new(Interp::new(program));
+        engine.set_budget(Some(1_000));
+        let err = engine.call("f", &[], &mut ExecEnv::new()).unwrap_err();
+        assert!(matches!(err, IrError::BudgetExceeded { .. }));
+    }
+}

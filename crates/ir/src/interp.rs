@@ -17,9 +17,10 @@
 //! * Execution accrues [`crate::cost::ExecStats`] per the
 //!   configured [`crate::cost::CostModel`].
 
-use crate::ast::{BinOp, Block, Expr, Function, LValue, Program, Stmt, UnOp};
+use crate::ast::{BinOp, Block, Expr, Function, LValue, Program, Stmt};
 use crate::cost::{CostModel, ExecStats};
 use crate::error::IrError;
+use crate::ops::{self, coerce_scalar, coerce_scalar_or_array, zero_of};
 use crate::types::Type;
 use crate::value::Value;
 use std::collections::HashMap;
@@ -266,8 +267,8 @@ impl Interp {
             return Ok((value, vec![]));
         }
         if self.hosts.contains_key(&resolved) {
-            env.stats.cost += self.cost_model.host_call;
-            env.stats.host_calls += 1;
+            env.stats.charge(self.cost_model.host_call)?;
+            env.stats.host_calls = env.stats.host_calls.saturating_add(1);
             let host = self.hosts.get_mut(&resolved).expect("checked above");
             let value = host(&args)?;
             return Ok((value, vec![]));
@@ -278,60 +279,15 @@ impl Interp {
     /// Built-in math intrinsics (`sqrt`, `exp`, `log`, `fabs`, `fmin`,
     /// `fmax`, `pow`), evaluated natively with FP cost accounting. User
     /// programs and host registrations take precedence over builtins.
+    /// The implementation lives in [`crate::ops::try_builtin`], shared
+    /// with the bytecode VM.
     fn try_builtin(
         &mut self,
         name: &str,
         args: &[Value],
         env: &mut ExecEnv,
     ) -> Result<Option<Value>, IrError> {
-        let unary = |args: &[Value]| -> Result<f64, IrError> {
-            match args {
-                [v] => v
-                    .as_f64()
-                    .ok_or_else(|| IrError::Type(format!("`{name}` expects a number"))),
-                _ => Err(IrError::Type(format!("`{name}` expects one argument"))),
-            }
-        };
-        let binary = |args: &[Value]| -> Result<(f64, f64), IrError> {
-            match args {
-                [a, b] => Ok((
-                    a.as_f64()
-                        .ok_or_else(|| IrError::Type(format!("`{name}` expects numbers")))?,
-                    b.as_f64()
-                        .ok_or_else(|| IrError::Type(format!("`{name}` expects numbers")))?,
-                )),
-                _ => Err(IrError::Type(format!("`{name}` expects two arguments"))),
-            }
-        };
-        let (value, cost, flops) = match name {
-            "sqrt" => (unary(args)?.sqrt(), self.cost_model.float_div, 1),
-            "exp" => (unary(args)?.exp(), 2 * self.cost_model.float_div, 4),
-            "log" => {
-                let x = unary(args)?;
-                if x <= 0.0 {
-                    return Err(IrError::Eval("log of a non-positive number".into()));
-                }
-                (x.ln(), 2 * self.cost_model.float_div, 4)
-            }
-            "fabs" => (unary(args)?.abs(), self.cost_model.float_op, 1),
-            "fmin" => {
-                let (a, b) = binary(args)?;
-                (a.min(b), self.cost_model.float_op, 1)
-            }
-            "fmax" => {
-                let (a, b) = binary(args)?;
-                (a.max(b), self.cost_model.float_op, 1)
-            }
-            "pow" => {
-                let (a, b) = binary(args)?;
-                (a.powf(b), 3 * self.cost_model.float_div, 8)
-            }
-            _ => return Ok(None),
-        };
-        env.stats.cost += cost;
-        env.stats.flops += flops;
-        env.stats.flop_energy += flops as f64 * (f64::from(self.prec_ctx) / 52.0).powi(2);
-        Ok(Some(Value::Float(value)))
+        ops::try_builtin(name, args, &self.cost_model, self.prec_ctx, &mut env.stats)
     }
 
     fn exec_function(
@@ -348,8 +304,8 @@ impl Interp {
                 args.len()
             )));
         }
-        env.stats.cost += self.cost_model.call_overhead;
-        env.stats.calls += 1;
+        env.stats.charge(self.cost_model.call_overhead)?;
+        env.stats.calls = env.stats.calls.saturating_add(1);
         self.check_budget(env)?;
         self.depth += 1;
         if self.depth > MAX_CALL_DEPTH {
@@ -473,7 +429,7 @@ impl Interp {
                             None => value,
                         };
                         frame.store(name, coerced);
-                        env.stats.cost += self.cost_model.reg_op;
+                        env.stats.charge(self.cost_model.reg_op)?;
                     }
                     LValue::Index(name, index) => {
                         let idx = self
@@ -503,8 +459,8 @@ impl Interp {
                             value = Value::Float(ty.quantize(*v));
                         }
                         *slot = value;
-                        env.stats.cost += self.cost_model.mem_op;
-                        env.stats.mem_ops += 1;
+                        env.stats.charge(self.cost_model.mem_op)?;
+                        env.stats.mem_ops = env.stats.mem_ops.saturating_add(1);
                     }
                 }
             }
@@ -534,8 +490,8 @@ impl Interp {
                     if !self.eval(cond, frame, env)?.truthy() {
                         break;
                     }
-                    env.stats.cost += self.cost_model.loop_overhead;
-                    env.stats.loop_iters += 1;
+                    env.stats.charge(self.cost_model.loop_overhead)?;
+                    env.stats.loop_iters = env.stats.loop_iters.saturating_add(1);
                     self.check_budget(env)?;
                     match self.exec_block(body, frame, env)? {
                         Flow::Normal => {}
@@ -549,8 +505,8 @@ impl Interp {
                 if !self.eval(cond, frame, env)?.truthy() {
                     break;
                 }
-                env.stats.cost += self.cost_model.loop_overhead;
-                env.stats.loop_iters += 1;
+                env.stats.charge(self.cost_model.loop_overhead)?;
+                env.stats.loop_iters = env.stats.loop_iters.saturating_add(1);
                 self.check_budget(env)?;
                 match self.exec_block(body, frame, env)? {
                     Flow::Normal => {}
@@ -582,7 +538,7 @@ impl Interp {
             Expr::Float(v) => Ok(Value::Float(*v)),
             Expr::Str(s) => Ok(Value::Str(s.clone())),
             Expr::Var(name) => {
-                env.stats.cost += self.cost_model.reg_op;
+                env.stats.charge(self.cost_model.reg_op)?;
                 frame
                     .locals
                     .get(name)
@@ -594,8 +550,8 @@ impl Interp {
                     .eval(index, frame, env)?
                     .as_i64()
                     .ok_or_else(|| IrError::Type("array index must be numeric".into()))?;
-                env.stats.cost += self.cost_model.mem_op;
-                env.stats.mem_ops += 1;
+                env.stats.charge(self.cost_model.mem_op)?;
+                env.stats.mem_ops = env.stats.mem_ops.saturating_add(1);
                 let array = frame
                     .locals
                     .get(name)
@@ -617,31 +573,13 @@ impl Interp {
             }
             Expr::Unary(op, inner) => {
                 let value = self.eval(inner, frame, env)?;
-                match op {
-                    UnOp::Neg => match value {
-                        Value::Int(v) => {
-                            env.stats.cost += self.cost_model.int_op;
-                            Ok(Value::Int(-v))
-                        }
-                        Value::Float(v) => {
-                            env.stats.cost += self.cost_model.float_op;
-                            env.stats.flops += 1;
-                            env.stats.flop_energy += (f64::from(self.prec_ctx) / 52.0).powi(2);
-                            Ok(Value::Float(-v))
-                        }
-                        other => Err(IrError::Type(format!("cannot negate {other}"))),
-                    },
-                    UnOp::Not => {
-                        env.stats.cost += self.cost_model.int_op;
-                        Ok(Value::Int(i64::from(!value.truthy())))
-                    }
-                }
+                ops::apply_unary(*op, value, &self.cost_model, self.prec_ctx, &mut env.stats)
             }
             Expr::Binary(op, lhs, rhs) => {
                 // short-circuit logical operators
                 if *op == BinOp::And {
                     let l = self.eval(lhs, frame, env)?;
-                    env.stats.cost += self.cost_model.int_op;
+                    env.stats.charge(self.cost_model.int_op)?;
                     if !l.truthy() {
                         return Ok(Value::Int(0));
                     }
@@ -650,7 +588,7 @@ impl Interp {
                 }
                 if *op == BinOp::Or {
                     let l = self.eval(lhs, frame, env)?;
-                    env.stats.cost += self.cost_model.int_op;
+                    env.stats.charge(self.cost_model.int_op)?;
                     if l.truthy() {
                         return Ok(Value::Int(1));
                     }
@@ -659,7 +597,7 @@ impl Interp {
                 }
                 let l = self.eval(lhs, frame, env)?;
                 let r = self.eval(rhs, frame, env)?;
-                self.apply_binary(*op, l, r, env)
+                ops::apply_binary(*op, l, r, &self.cost_model, self.prec_ctx, &mut env.stats)
             }
             Expr::Call(name, args) => {
                 let mut evaluated = Vec::with_capacity(args.len());
@@ -679,131 +617,6 @@ impl Interp {
                 Ok(value)
             }
         }
-    }
-
-    fn apply_binary(
-        &mut self,
-        op: BinOp,
-        l: Value,
-        r: Value,
-        env: &mut ExecEnv,
-    ) -> Result<Value, IrError> {
-        use BinOp::*;
-        // string equality for instrumentation predicates
-        if let (Value::Str(a), Value::Str(b)) = (&l, &r) {
-            env.stats.cost += self.cost_model.int_op;
-            return match op {
-                Eq => Ok(Value::Int(i64::from(a == b))),
-                Ne => Ok(Value::Int(i64::from(a != b))),
-                _ => Err(IrError::Type(format!(
-                    "operator {op} not defined on strings"
-                ))),
-            };
-        }
-        let float_mode = l.is_float() || r.is_float();
-        if float_mode {
-            let a = l
-                .as_f64()
-                .ok_or_else(|| IrError::Type(format!("non-numeric operand {l}")))?;
-            let b = r
-                .as_f64()
-                .ok_or_else(|| IrError::Type(format!("non-numeric operand {r}")))?;
-            let (cost, is_flop) = match op {
-                Mul => (self.cost_model.float_mul, true),
-                Div => (self.cost_model.float_div, true),
-                Add | Sub => (self.cost_model.float_op, true),
-                _ => (self.cost_model.float_op, false),
-            };
-            env.stats.cost += cost;
-            if is_flop {
-                env.stats.flops += 1;
-                env.stats.flop_energy += (f64::from(self.prec_ctx) / 52.0).powi(2);
-            }
-            return match op {
-                Add => Ok(Value::Float(a + b)),
-                Sub => Ok(Value::Float(a - b)),
-                Mul => Ok(Value::Float(a * b)),
-                Div => {
-                    if b == 0.0 {
-                        Err(IrError::Eval("float division by zero".into()))
-                    } else {
-                        Ok(Value::Float(a / b))
-                    }
-                }
-                Rem => Err(IrError::Type("`%` requires integer operands".into())),
-                Eq => Ok(Value::Int(i64::from(a == b))),
-                Ne => Ok(Value::Int(i64::from(a != b))),
-                Lt => Ok(Value::Int(i64::from(a < b))),
-                Le => Ok(Value::Int(i64::from(a <= b))),
-                Gt => Ok(Value::Int(i64::from(a > b))),
-                Ge => Ok(Value::Int(i64::from(a >= b))),
-                And | Or => unreachable!("handled before operand evaluation"),
-            };
-        }
-        let a = l
-            .as_i64()
-            .ok_or_else(|| IrError::Type(format!("non-numeric operand {l}")))?;
-        let b = r
-            .as_i64()
-            .ok_or_else(|| IrError::Type(format!("non-numeric operand {r}")))?;
-        let cost = match op {
-            Mul => self.cost_model.int_mul,
-            Div | Rem => self.cost_model.int_div,
-            _ => self.cost_model.int_op,
-        };
-        env.stats.cost += cost;
-        match op {
-            Add => Ok(Value::Int(a.wrapping_add(b))),
-            Sub => Ok(Value::Int(a.wrapping_sub(b))),
-            Mul => Ok(Value::Int(a.wrapping_mul(b))),
-            Div => {
-                if b == 0 {
-                    Err(IrError::Eval("integer division by zero".into()))
-                } else {
-                    Ok(Value::Int(a.wrapping_div(b)))
-                }
-            }
-            Rem => {
-                if b == 0 {
-                    Err(IrError::Eval("integer remainder by zero".into()))
-                } else {
-                    Ok(Value::Int(a.wrapping_rem(b)))
-                }
-            }
-            Eq => Ok(Value::Int(i64::from(a == b))),
-            Ne => Ok(Value::Int(i64::from(a != b))),
-            Lt => Ok(Value::Int(i64::from(a < b))),
-            Le => Ok(Value::Int(i64::from(a <= b))),
-            Gt => Ok(Value::Int(i64::from(a > b))),
-            Ge => Ok(Value::Int(i64::from(a >= b))),
-            And | Or => unreachable!("handled before operand evaluation"),
-        }
-    }
-}
-
-fn zero_of(ty: Type) -> Value {
-    match ty {
-        Type::Int => Value::Int(0),
-        Type::Str => Value::Str(String::new()),
-        _ => Value::Float(0.0),
-    }
-}
-
-fn coerce_scalar(value: Value, ty: Type) -> Result<Value, IrError> {
-    match (ty, value) {
-        (Type::Int, Value::Int(v)) => Ok(Value::Int(v)),
-        (Type::Int, Value::Float(v)) => Ok(Value::Int(v as i64)),
-        (t, Value::Int(v)) if t.is_float() => Ok(Value::Float(v as f64)),
-        (t, Value::Float(v)) if t.is_float() => Ok(Value::Float(v)),
-        (Type::Str, Value::Str(s)) => Ok(Value::Str(s)),
-        (ty, other) => Err(IrError::Type(format!("cannot store {other} into {ty}"))),
-    }
-}
-
-fn coerce_scalar_or_array(value: Value, ty: Type) -> Result<Value, IrError> {
-    match value {
-        Value::Array(_) => Ok(value),
-        other => coerce_scalar(other, ty),
     }
 }
 

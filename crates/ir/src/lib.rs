@@ -15,7 +15,11 @@
 //! * a cost-accounting [interpreter](interp) so woven programs actually run
 //!   and the effect of every transformation (instrumentation, unrolling,
 //!   specialization, reduced precision) is observable as work, FLOPs and
-//!   simulated energy.
+//!   simulated energy,
+//! * the shared [operational core](ops) (arithmetic, builtins, coercions
+//!   with overflow-checked cost accounting) and the [`Executor`] trait,
+//!   which let the bytecode VM in `antarex-vm` run the same programs
+//!   bit-identically to the interpreter.
 //!
 //! # Examples
 //!
@@ -35,8 +39,10 @@ pub mod analysis;
 pub mod ast;
 pub mod cost;
 pub mod error;
+pub mod exec;
 pub mod interp;
 pub mod joinpoint;
+pub mod ops;
 pub mod parser;
 pub mod path;
 pub mod printer;
@@ -45,6 +51,7 @@ pub mod value;
 
 pub use ast::{BinOp, Block, Expr, Function, LValue, Param, Program, Stmt, UnOp};
 pub use error::IrError;
+pub use exec::Executor;
 pub use parser::{parse_expr, parse_program, parse_stmt, parse_stmts};
 pub use path::NodePath;
 pub use types::Type;

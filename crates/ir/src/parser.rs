@@ -69,9 +69,10 @@ pub fn parse_expr(source: &str) -> Result<Expr, IrError> {
     let expr = parser.expr()?;
     if !parser.at_end() {
         let tok = parser.peek();
-        return Err(IrError::parse(
+        return Err(IrError::parse_span(
             tok.line,
             tok.col,
+            tok.end_col,
             "trailing input after expression",
         ));
     }
@@ -89,9 +90,10 @@ pub fn parse_stmt(source: &str) -> Result<Stmt, IrError> {
     let stmt = parser.stmt()?;
     if !parser.at_end() {
         let tok = parser.peek();
-        return Err(IrError::parse(
+        return Err(IrError::parse_span(
             tok.line,
             tok.col,
+            tok.end_col,
             "trailing input after statement",
         ));
     }
@@ -129,6 +131,9 @@ struct Token {
     tok: Tok,
     line: u32,
     col: u32,
+    /// Exclusive end column of the token on its last line, so errors can
+    /// report the full span of the offending token.
+    end_col: u32,
 }
 
 const PUNCTS: &[&str] = &[
@@ -196,6 +201,7 @@ fn lex(source: &str) -> Result<Vec<Token>, IrError> {
                 tok: Tok::Ident(source[start..i].to_string()),
                 line: tline,
                 col: tcol,
+                end_col: col,
             });
             continue;
         }
@@ -240,6 +246,7 @@ fn lex(source: &str) -> Result<Vec<Token>, IrError> {
                 tok,
                 line: tline,
                 col: tcol,
+                end_col: col,
             });
             continue;
         }
@@ -278,6 +285,7 @@ fn lex(source: &str) -> Result<Vec<Token>, IrError> {
                 tok: Tok::Str(text),
                 line: tline,
                 col: tcol,
+                end_col: col,
             });
             continue;
         }
@@ -288,6 +296,7 @@ fn lex(source: &str) -> Result<Vec<Token>, IrError> {
                     tok: Tok::Punct(punct),
                     line: tline,
                     col: tcol,
+                    end_col: tcol + punct.len() as u32,
                 });
                 i += punct.len();
                 col += punct.len() as u32;
@@ -304,6 +313,7 @@ fn lex(source: &str) -> Result<Vec<Token>, IrError> {
         tok: Tok::Eof,
         line,
         col,
+        end_col: col,
     });
     Ok(tokens)
 }
@@ -339,8 +349,15 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> IrError {
-        let token = self.peek();
-        IrError::parse(token.line, token.col, message)
+        Self::err_at(self.peek(), message)
+    }
+
+    /// An error anchored at a specific (possibly already consumed) token,
+    /// carrying its full span. Error paths that detect a problem *after*
+    /// consuming tokens must use this with the offending token instead of
+    /// [`Parser::err`], which would blame whatever comes next.
+    fn err_at(token: &Token, message: impl Into<String>) -> IrError {
+        IrError::parse_span(token.line, token.col, token.end_col, message)
     }
 
     fn eat_punct(&mut self, punct: &str) -> bool {
@@ -424,10 +441,11 @@ impl Parser {
         let mut params = Vec::new();
         if !self.eat_punct(")") {
             loop {
+                let ty_token = self.peek().clone();
                 let ty = self
                     .try_type()
                     .ok_or_else(|| self.err("expected parameter type"))?
-                    .ok_or_else(|| self.err("parameters cannot be void"))?;
+                    .ok_or_else(|| Self::err_at(&ty_token, "parameters cannot be void"))?;
                 let pname = self.ident()?;
                 let is_array = if self.eat_punct("[") {
                     self.expect_punct("]")?;
@@ -500,15 +518,22 @@ impl Parser {
     }
 
     fn decl(&mut self) -> Result<Stmt, IrError> {
+        let ty_token = self.peek().clone();
         let ty = self
             .try_type()
             .ok_or_else(|| self.err("expected type"))?
-            .ok_or_else(|| self.err("cannot declare a void variable"))?;
+            .ok_or_else(|| Self::err_at(&ty_token, "cannot declare a void variable"))?;
         let name = self.ident()?;
         if self.eat_punct("[") {
-            let size = match self.bump().tok {
+            let size_token = self.bump();
+            let size = match size_token.tok {
                 Tok::Int(n) if n >= 0 => n as usize,
-                _ => return Err(self.err("array size must be a non-negative integer literal")),
+                _ => {
+                    return Err(Self::err_at(
+                        &size_token,
+                        "array size must be a non-negative integer literal",
+                    ))
+                }
             };
             self.expect_punct("]")?;
             return Ok(Stmt::ArrayDecl { name, ty, size });
@@ -622,9 +647,10 @@ impl Parser {
         self.expect_punct("(")?;
         // init: `int i = e` or `i = e`
         let (var, init) = if self.is_type_ahead() {
+            let ty_token = self.peek().clone();
             let ty = self.try_type().unwrap();
             if ty != Some(Type::Int) {
-                return Err(self.err("loop variables must be integers"));
+                return Err(Self::err_at(&ty_token, "loop variables must be integers"));
             }
             let name = self.ident()?;
             self.expect_punct("=")?;
@@ -638,13 +664,19 @@ impl Parser {
         let cond = self.expr()?;
         self.expect_punct(";")?;
         // step: `i = e`, `i += e`, `i++`, `i--`
+        let step_token = self.peek().clone();
         let step_stmt = self.simple_stmt()?;
         let step = match step_stmt {
             Stmt::Assign {
                 target: LValue::Var(name),
                 value,
             } if name == var => value,
-            _ => return Err(self.err(format!("for-step must assign loop variable `{var}`"))),
+            _ => {
+                return Err(Self::err_at(
+                    &step_token,
+                    format!("for-step must assign loop variable `{var}`"),
+                ))
+            }
         };
         self.expect_punct(")")?;
         let body = self.stmt_or_block()?;
@@ -784,7 +816,7 @@ impl Parser {
                 self.expect_punct(")")?;
                 Ok(inner)
             }
-            _ => Err(IrError::parse(token.line, token.col, "expected expression")),
+            _ => Err(Self::err_at(&token, "expected expression")),
         }
     }
 }
@@ -976,6 +1008,51 @@ mod tests {
     fn for_step_must_touch_loop_var() {
         let err = parse_program("void f() { for (int i = 0; i < 4; j++) {} }").unwrap_err();
         assert!(err.to_string().contains("for-step"));
+    }
+
+    /// Slices the token a parse error blames out of the source line.
+    fn blamed(source: &str, err: &IrError) -> String {
+        let (line, col, end_col) = err.span().expect("parse error with a span");
+        let text = source.lines().nth(line as usize - 1).unwrap();
+        text.chars()
+            .skip(col as usize - 1)
+            .take((end_col - col) as usize)
+            .collect()
+    }
+
+    #[test]
+    fn span_points_at_offending_token() {
+        // previously these paths blamed the *next* token (or reported a
+        // position past the construct); each must now blame the cause
+        let src = "void f() { for (double i = 0; i < 4; i++) {} }";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(blamed(src, &err), "double", "{err}");
+
+        let src = "void f() { void x = 1; }";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(blamed(src, &err), "void", "{err}");
+
+        let src = "void f(void x) { }";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(blamed(src, &err), "void", "{err}");
+
+        let src = "void f() { int a[n]; }";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(blamed(src, &err), "n", "{err}");
+
+        let src = "void f() { for (int i = 0; i < 4; j++) {} }";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(blamed(src, &err), "j", "{err}");
+    }
+
+    #[test]
+    fn span_covers_multi_column_tokens() {
+        let src = "int f() {\n  return 1 + wrong_name(;\n}";
+        let err = parse_program(src).unwrap_err();
+        // the `;` where an expression was expected, on line 2
+        let (line, _, _) = err.span().unwrap();
+        assert_eq!(line, 2);
+        assert_eq!(blamed(src, &err), ";");
     }
 
     #[test]

@@ -23,6 +23,7 @@ impl Value {
     /// Interprets the value as a boolean (C semantics: non-zero is true).
     ///
     /// Strings and arrays are truthy when non-empty; `Unit` is false.
+    #[inline]
     pub fn truthy(&self) -> bool {
         match self {
             Value::Int(v) => *v != 0,
@@ -34,6 +35,7 @@ impl Value {
     }
 
     /// Numeric view as f64, if the value is numeric.
+    #[inline]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Int(v) => Some(*v as f64),
@@ -43,6 +45,7 @@ impl Value {
     }
 
     /// Integer view, truncating floats, if the value is numeric.
+    #[inline]
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Value::Int(v) => Some(*v),
@@ -52,6 +55,7 @@ impl Value {
     }
 
     /// Returns `true` if the value is a float (not an int).
+    #[inline]
     pub fn is_float(&self) -> bool {
         matches!(self, Value::Float(_))
     }

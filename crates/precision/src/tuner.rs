@@ -4,15 +4,24 @@
 //! compute full-precision reference outputs over a test-input set, then
 //! repeatedly try lowering one variable a rung down the precision ladder,
 //! keeping the change only if the worst-case relative error stays within
-//! budget. Energy is measured by the interpreter's precision-weighted
+//! budget. Energy is measured by the engine's precision-weighted
 //! [`flop_energy`](antarex_ir::cost::ExecStats::flop_energy).
+//!
+//! Candidates run on the bytecode VM by default (bit-identical to the
+//! reference interpreter, much faster across the many sweep evaluations);
+//! [`PrecisionTuner::with_reference_engine`] switches back to the
+//! interpreter, and [`PrecisionTuner::with_cache`] shares instrumented
+//! bytecode across candidates, sweeps and tuner instances.
 
 use crate::error::max_rel_error;
 use crate::vars::{float_vars, set_precision};
+use antarex_ir::cost::CostModel;
 use antarex_ir::interp::{ExecEnv, Interp};
 use antarex_ir::value::Value;
-use antarex_ir::{IrError, Program};
+use antarex_ir::{Executor, IrError, Program};
+use antarex_vm::{InstrumentedCodeCache, Vm};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The precision ladder, full precision first.
 pub const LADDER: [u8; 7] = [52, 23, 16, 12, 10, 8, 5];
@@ -57,6 +66,8 @@ pub struct PrecisionTuner {
     program: Program,
     function: String,
     inputs: Vec<Vec<Value>>,
+    use_reference_engine: bool,
+    cache: Option<Arc<InstrumentedCodeCache>>,
 }
 
 impl PrecisionTuner {
@@ -67,16 +78,43 @@ impl PrecisionTuner {
             program,
             function: function.into(),
             inputs,
+            use_reference_engine: false,
+            cache: None,
+        }
+    }
+
+    /// Evaluates candidates on the reference tree-walking interpreter
+    /// instead of the bytecode VM (slower; results are identical).
+    pub fn with_reference_engine(mut self) -> Self {
+        self.use_reference_engine = true;
+        self
+    }
+
+    /// Shares an instrumented-code cache: candidate programs that recur
+    /// across sweeps (or across tuners) lower once.
+    pub fn with_cache(mut self, cache: Arc<InstrumentedCodeCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Builds the candidate-evaluation engine for one program.
+    fn engine(&self, program: &Program) -> Box<dyn Executor> {
+        if self.use_reference_engine {
+            Box::new(Interp::new(program.clone()))
+        } else if let Some(cache) = &self.cache {
+            Box::new(Vm::with_cache(program.clone(), CostModel::new(), cache))
+        } else {
+            Box::new(Vm::new(program.clone()))
         }
     }
 
     /// Runs the test set, returning outputs and total FP energy.
     fn run(&self, program: &Program) -> Result<(Vec<Value>, f64), IrError> {
-        let mut interp = Interp::new(program.clone());
+        let mut engine = self.engine(program);
         let mut env = ExecEnv::new();
         let mut outputs = Vec::with_capacity(self.inputs.len());
         for args in &self.inputs {
-            outputs.push(interp.call(&self.function, args, &mut env)?);
+            outputs.push(engine.call(&self.function, args, &mut env)?);
         }
         Ok((outputs, env.stats.flop_energy))
     }
@@ -247,6 +285,55 @@ mod tests {
         let outcome = tuner.tune(&TunerOptions::default()).unwrap();
         assert!(outcome.assignment.is_empty());
         assert_eq!(outcome.energy_ratio, 1.0);
+    }
+
+    #[test]
+    fn vm_and_reference_engine_tune_identically() {
+        // the greedy search is driven by bit-exact outputs and energies,
+        // so both engines must take the exact same decisions
+        let options = TunerOptions {
+            error_budget: 1e-4,
+            max_sweeps: 8,
+        };
+        let program = parse_program(DOT).unwrap();
+        let vm = PrecisionTuner::new(program.clone(), "dot", dot_inputs())
+            .tune(&options)
+            .unwrap();
+        let reference = PrecisionTuner::new(program, "dot", dot_inputs())
+            .with_reference_engine()
+            .tune(&options)
+            .unwrap();
+        assert_eq!(vm.assignment, reference.assignment);
+        assert_eq!(vm.evaluations, reference.evaluations);
+        assert_eq!(
+            vm.max_rel_error.to_bits(),
+            reference.max_rel_error.to_bits()
+        );
+        assert_eq!(vm.energy_ratio.to_bits(), reference.energy_ratio.to_bits());
+    }
+
+    #[test]
+    fn shared_cache_replays_candidate_lowerings() {
+        let cache = Arc::new(InstrumentedCodeCache::new());
+        let program = parse_program(DOT).unwrap();
+        let options = TunerOptions {
+            error_budget: 1e-2,
+            max_sweeps: 8,
+        };
+        let first = PrecisionTuner::new(program.clone(), "dot", dot_inputs())
+            .with_cache(Arc::clone(&cache))
+            .tune(&options)
+            .unwrap();
+        let after_first = cache.misses();
+        // a second tuner over the same program re-walks the same candidate
+        // ladder: every lowering replays from the cache
+        let second = PrecisionTuner::new(program, "dot", dot_inputs())
+            .with_cache(Arc::clone(&cache))
+            .tune(&options)
+            .unwrap();
+        assert_eq!(first.assignment, second.assignment);
+        assert_eq!(cache.misses(), after_first, "no new lowerings");
+        assert!(cache.hits() >= after_first);
     }
 
     #[test]

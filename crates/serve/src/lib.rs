@@ -38,7 +38,10 @@
 //! * [`driver`] — the deterministic **virtual-time request driver**:
 //!   seeded per-tenant Poisson arrivals merged into batch windows;
 //! * [`nav`] — the navigation use case wired through the service as a
-//!   real evaluator.
+//!   real evaluator;
+//! * [`kernel`] — mini-C precision design points probed on the metered
+//!   bytecode VM, with instrumented code shared across tenants through
+//!   one [`InstrumentedCodeCache`](antarex_vm::InstrumentedCodeCache).
 //!
 //! # Examples
 //!
@@ -66,6 +69,7 @@ pub mod chaos;
 pub mod driver;
 pub mod error;
 pub mod journal;
+pub mod kernel;
 pub mod nav;
 pub mod obs;
 pub mod pool;
@@ -79,6 +83,7 @@ pub use cache::{probe_seed, DesignKey, DesignPointCache, ReferenceKey};
 pub use chaos::{ChaosConfig, HedgePolicy};
 pub use error::ServeError;
 pub use journal::{Journal, JournalEntry, Snapshot};
+pub use kernel::KernelEvaluator;
 pub use obs::ServeObs;
 pub use pool::{EvalPool, PoolConfig};
 pub use service::{

@@ -1,0 +1,1671 @@
+//! The metered bytecode VM.
+//!
+//! [`Vm`] executes [`Chunk`]s produced by [`crate::lower`], with the same
+//! observable behaviour as the tree-walking interpreter in `antarex-ir`:
+//! identical values, identical [`ExecStats`]
+//! (including `flop_energy` bit-for-bit), identical host-call traces and
+//! identical errors. The differential suite in `tests/` enforces this.
+//!
+//! The engine-specific caveat: when execution *aborts with an error*, the
+//! two engines may disagree on the partial statistics accrued after the
+//! point of error (the VM's fused meters pend statically-known costs until
+//! a segment boundary, so a mid-segment abort discards charges the
+//! interpreter had already made). Error values themselves, and everything
+//! observable on successful paths — budget-check outcomes included — are
+//! identical.
+
+use crate::bytecode::{Chunk, CompiledProgram};
+use crate::cache::InstrumentedCodeCache;
+use crate::lower::lower_function;
+use crate::reg::{RInstr, IDX_MASK, TAG_MASK, TAG_SLOT};
+use crate::trace::{Bound, Trace, TraceKind};
+use antarex_ir::ast::{BinOp, Program};
+use antarex_ir::cost::{CostModel, ExecStats};
+use antarex_ir::error::IrError;
+use antarex_ir::exec::Executor;
+use antarex_ir::interp::{Dispatcher, ExecEnv, HostFn, MAX_CALL_DEPTH};
+use antarex_ir::ops::{self, coerce_scalar, coerce_scalar_or_array, zero_of};
+use antarex_ir::types::Type;
+use antarex_ir::value::Value;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// The bytecode execution engine.
+///
+/// Functions lower lazily on first call and the lowered chunk is memoized
+/// per function (invalidated when the program's `Rc<Function>` identity
+/// changes, e.g. after `edit_function` or a dispatcher insertion).
+/// [`Vm::with_cache`] additionally seeds the memo from a shared
+/// [`InstrumentedCodeCache`], so a `(program digest, metering params)`
+/// pair lowers once process-wide.
+///
+/// # Examples
+///
+/// ```
+/// use antarex_ir::{parse_program, interp::ExecEnv, value::Value, Executor};
+/// use antarex_vm::Vm;
+///
+/// # fn main() -> Result<(), antarex_ir::IrError> {
+/// let program = parse_program("int square(int x) { return x * x; }")?;
+/// let mut vm = Vm::new(program);
+/// let out = vm.call("square", &[Value::Int(7)], &mut ExecEnv::default())?;
+/// assert_eq!(out, Value::Int(49));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Vm {
+    program: Program,
+    /// Pre-lowered chunks backing [`Vm::from_compiled`]: consulted only
+    /// when the (possibly empty) program has no function of the name, so
+    /// a stale chunk can never shadow a live program edit.
+    compiled: Option<Arc<CompiledProgram>>,
+    /// Per-function lowering memo, validated by `Rc` pointer identity.
+    memo: HashMap<String, (Rc<antarex_ir::ast::Function>, Arc<Chunk>)>,
+    cost_model: CostModel,
+    budget: Option<u64>,
+    hosts: HashMap<String, HostFn>,
+    dispatcher: Option<Box<dyn Dispatcher>>,
+    /// Mantissa width of the destination currently being computed (the
+    /// reduced-precision emulation context, mirroring the interpreter).
+    prec_ctx: u8,
+    /// Saved contexts for nested `PushPrec`/`PopPrec` pairs.
+    prec_stack: Vec<u8>,
+    /// Cached `ops::flop_unit(prec_ctx)` — recomputed only when the
+    /// precision context changes, read on every float operation.
+    prec_unit: f64,
+    /// Current mini-C call depth.
+    depth: u32,
+    /// Recycled frames (values + type bindings), one per active depth.
+    pool: Vec<(Vec<Value>, Vec<Option<Type>>)>,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("functions", &self.program.function_names())
+            .field("hosts", &self.hosts.keys().collect::<Vec<_>>())
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Vm {
+    /// Creates a VM for `program` with the default cost model.
+    pub fn new(program: Program) -> Self {
+        Vm {
+            program,
+            compiled: None,
+            memo: HashMap::new(),
+            cost_model: CostModel::new(),
+            budget: Some(200_000_000),
+            hosts: HashMap::new(),
+            dispatcher: None,
+            prec_ctx: 52,
+            prec_stack: Vec::new(),
+            prec_unit: ops::flop_unit(52),
+            depth: 0,
+            pool: Vec::new(),
+        }
+    }
+
+    /// Replaces the cost model (clears the lowering memo — metering is
+    /// woven into the bytecode, so chunks are model-specific).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self.memo.clear();
+        self
+    }
+
+    /// Creates a VM whose lowering memo is seeded from (and populates)
+    /// the shared `cache`: the `(program digest, cost-model digest)` pair
+    /// lowers once and the instrumented chunks are shared across tenants,
+    /// DSE rounds and precision sweeps.
+    pub fn with_cache(
+        program: Program,
+        cost_model: CostModel,
+        cache: &InstrumentedCodeCache,
+    ) -> Self {
+        let compiled = cache.instrument(&program, &cost_model);
+        let mut memo = HashMap::new();
+        for function in program.iter() {
+            if let Some(chunk) = compiled.get(&function.name) {
+                if let Some(rc) = program.function(&function.name) {
+                    memo.insert(function.name.clone(), (Rc::clone(rc), Arc::clone(chunk)));
+                }
+            }
+        }
+        let mut vm = Vm::new(program).with_cost_model(cost_model);
+        vm.memo = memo;
+        vm
+    }
+
+    /// Creates a VM that executes pre-lowered chunks directly, with an
+    /// empty program. This is the cheap per-request constructor for the
+    /// serving tier: the `Arc<CompiledProgram>` is shared, the VM itself
+    /// is a handful of words.
+    pub fn from_compiled(compiled: Arc<CompiledProgram>) -> Self {
+        let mut vm = Vm::new(Program::new());
+        vm.compiled = Some(compiled);
+        vm
+    }
+
+    /// Sets (or clears) the execution budget in cost units. The default
+    /// is 2·10⁸ units, matching the interpreter.
+    pub fn set_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    /// Registers a host (intrinsic) function callable from mini-C code.
+    /// Returns the previously registered function for the name, if any.
+    pub fn register_host(&mut self, name: impl Into<String>, f: HostFn) -> Option<HostFn> {
+        self.hosts.insert(name.into(), f)
+    }
+
+    /// Installs the dynamic-weaving dispatcher.
+    pub fn set_dispatcher(&mut self, dispatcher: Box<dyn Dispatcher>) {
+        self.dispatcher = Some(dispatcher);
+    }
+
+    /// Removes the dispatcher, returning it.
+    pub fn take_dispatcher(&mut self) -> Option<Box<dyn Dispatcher>> {
+        self.dispatcher.take()
+    }
+
+    /// The program being executed (it may grow under dynamic weaving).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Mutable access to the program (design-time edits between runs;
+    /// edited functions re-lower on next call via `Rc` identity).
+    pub fn program_mut(&mut self) -> &mut Program {
+        &mut self.program
+    }
+
+    /// Consumes the VM, returning the (possibly grown) program.
+    pub fn into_program(self) -> Program {
+        self.program
+    }
+
+    /// The lowered chunk for a function, if it exists (lowering it now if
+    /// needed) — exposes meter-fusion and bytecode-size statistics.
+    pub fn chunk(&mut self, name: &str) -> Option<Arc<Chunk>> {
+        if self.program.contains(name) {
+            return Some(self.chunk_for(name));
+        }
+        self.compiled.as_ref().and_then(|c| c.get(name)).cloned()
+    }
+
+    /// Calls a function by name with the given arguments.
+    ///
+    /// Statistics accrue into `env.stats` (across multiple calls, if the
+    /// same environment is reused).
+    ///
+    /// # Errors
+    ///
+    /// * [`IrError::Unresolved`] — unknown function.
+    /// * [`IrError::Type`] / [`IrError::Eval`] — dynamic errors.
+    /// * [`IrError::BudgetExceeded`] — the work budget was exhausted.
+    /// * [`IrError::CostOverflow`] — cost accounting overflowed.
+    pub fn call(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        env: &mut ExecEnv,
+    ) -> Result<Value, IrError> {
+        // The interpreter's precision context is provably 52 at every
+        // top-level entry (it restores on unwind even through errors);
+        // the VM skips per-frame unwinding and re-establishes the
+        // invariant here instead.
+        self.set_prec(52);
+        self.prec_stack.clear();
+        let (value, _) = self.call_with_writeback(name, args.to_vec(), env)?;
+        Ok(value)
+    }
+
+    #[inline]
+    fn set_prec(&mut self, bits: u8) {
+        self.prec_ctx = bits;
+        self.prec_unit = ops::flop_unit(bits);
+    }
+
+    fn check_budget(&self, env: &ExecEnv) -> Result<(), IrError> {
+        if let Some(limit) = self.budget {
+            if env.stats.cost > limit {
+                return Err(IrError::BudgetExceeded { limit });
+            }
+        }
+        Ok(())
+    }
+
+    fn chunk_for(&mut self, name: &str) -> Arc<Chunk> {
+        let function = Rc::clone(
+            self.program
+                .function(name)
+                .expect("caller checked contains"),
+        );
+        if let Some((cached_fn, chunk)) = self.memo.get(name) {
+            if Rc::ptr_eq(cached_fn, &function) {
+                return Arc::clone(chunk);
+            }
+        }
+        let chunk = Arc::new(lower_function(&function, &self.cost_model));
+        self.memo
+            .insert(name.to_string(), (function, Arc::clone(&chunk)));
+        chunk
+    }
+
+    fn call_with_writeback(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        env: &mut ExecEnv,
+    ) -> Result<(Value, Vec<(usize, Value)>), IrError> {
+        // Dynamic-weaving hook: the dispatcher may redirect and/or extend
+        // the program with specialized versions (which then lower lazily).
+        let resolved = if let Some(dispatcher) = self.dispatcher.as_mut() {
+            dispatcher
+                .resolve(name, &args, &mut self.program)?
+                .unwrap_or_else(|| name.to_string())
+        } else {
+            name.to_string()
+        };
+
+        if self.program.contains(&resolved) {
+            let chunk = self.chunk_for(&resolved);
+            return self.exec_chunk(&chunk, args, env);
+        }
+        if let Some(chunk) = self
+            .compiled
+            .as_ref()
+            .and_then(|c| c.get(&resolved))
+            .cloned()
+        {
+            return self.exec_chunk(&chunk, args, env);
+        }
+        if let Some(value) = ops::try_builtin(
+            &resolved,
+            &args,
+            &self.cost_model,
+            self.prec_ctx,
+            &mut env.stats,
+        )? {
+            return Ok((value, vec![]));
+        }
+        if self.hosts.contains_key(&resolved) {
+            env.stats.charge(self.cost_model.host_call)?;
+            env.stats.host_calls = env.stats.host_calls.saturating_add(1);
+            let host = self.hosts.get_mut(&resolved).expect("checked above");
+            let value = host(&args)?;
+            return Ok((value, vec![]));
+        }
+        Err(IrError::Unresolved(resolved))
+    }
+
+    fn exec_chunk(
+        &mut self,
+        chunk: &Arc<Chunk>,
+        args: Vec<Value>,
+        env: &mut ExecEnv,
+    ) -> Result<(Value, Vec<(usize, Value)>), IrError> {
+        if args.len() != chunk.params.len() {
+            return Err(IrError::Type(format!(
+                "function `{}` expects {} arguments, got {}",
+                chunk.name,
+                chunk.params.len(),
+                args.len()
+            )));
+        }
+        env.stats.charge(self.cost_model.call_overhead)?;
+        env.stats.calls = env.stats.calls.saturating_add(1);
+        self.check_budget(env)?;
+        self.depth += 1;
+        if self.depth > MAX_CALL_DEPTH {
+            self.depth -= 1;
+            return Err(IrError::Eval(format!(
+                "call depth exceeded {MAX_CALL_DEPTH} (runaway recursion in `{}`)",
+                chunk.name
+            )));
+        }
+
+        let frame_size = chunk.reg().frame_size;
+        let (mut frame, mut types) = self.pool.pop().unwrap_or_default();
+        frame.clear();
+        frame.resize(frame_size, Value::Unit);
+        types.clear();
+        types.resize(chunk.num_slots(), None);
+
+        let result = self.exec_frame(chunk, args, &mut frame, &mut types, env);
+
+        frame.clear();
+        types.clear();
+        self.pool.push((frame, types));
+        result
+    }
+
+    fn exec_frame(
+        &mut self,
+        chunk: &Arc<Chunk>,
+        args: Vec<Value>,
+        frame: &mut [Value],
+        types: &mut [Option<Type>],
+        env: &mut ExecEnv,
+    ) -> Result<(Value, Vec<(usize, Value)>), IrError> {
+        // NOTE: binding errors below deliberately do NOT restore `depth`
+        // — the interpreter leaks one depth level on parameter-binding
+        // failure and bit-identity includes replicating that.
+        for (slot, (param, arg)) in chunk.params.iter().zip(args).enumerate() {
+            types[slot] = Some(param.ty);
+            if param.is_array {
+                match arg {
+                    Value::Array(mut items) => {
+                        // copy-in quantization: a narrow parameter type
+                        // means the data arrives in that format
+                        if param.ty.mantissa_bits().is_some_and(|b| b < 52) {
+                            for item in &mut items {
+                                if let Value::Float(v) = item {
+                                    *item = Value::Float(param.ty.quantize(*v));
+                                }
+                            }
+                        }
+                        frame[slot] = Value::Array(items);
+                    }
+                    other => {
+                        return Err(IrError::Type(format!(
+                            "parameter `{}` of `{}` expects an array, got {other}",
+                            param.name, chunk.name
+                        )))
+                    }
+                }
+            } else {
+                let value = coerce_scalar(arg, param.ty)?;
+                store_slot(frame, types, slot, value);
+            }
+        }
+
+        let result = self.run(chunk, frame, types, env);
+        self.depth -= 1;
+        let mut result = result?;
+        if let (Some(ty), Value::Float(v)) = (chunk.ret, &result) {
+            result = Value::Float(ty.quantize(*v));
+        }
+        // copy-out array parameters
+        let mut writeback = Vec::new();
+        for (i, param) in chunk.params.iter().enumerate() {
+            if param.is_array {
+                match std::mem::replace(&mut frame[i], Value::Unit) {
+                    Value::Unit => {}
+                    value => writeback.push((i, value)),
+                }
+            }
+        }
+        Ok((result, writeback))
+    }
+
+    fn run(
+        &mut self,
+        chunk: &Arc<Chunk>,
+        frame: &mut [Value],
+        types: &mut [Option<Type>],
+        env: &mut ExecEnv,
+    ) -> Result<Value, IrError> {
+        // `ExecStats` is `Copy`: the dispatch loop accrues into a stack
+        // local the optimizer can keep in registers, written back to the
+        // environment on every exit and around nested calls. Observable
+        // behaviour (budget-check outcomes, overflow points, merge order)
+        // is unchanged — it is the same field-by-field arithmetic.
+        let mut stats = env.stats;
+        let result = self.run_inner(chunk, frame, types, env, &mut stats);
+        env.stats = stats;
+        result
+    }
+
+    fn run_inner(
+        &mut self,
+        chunk: &Arc<Chunk>,
+        frame: &mut [Value],
+        types: &mut [Option<Type>],
+        env: &mut ExecEnv,
+        stats: &mut antarex_ir::cost::ExecStats,
+    ) -> Result<Value, IrError> {
+        let reg = chunk.reg();
+        let code = &reg.code;
+        let budget = self.budget.unwrap_or(u64::MAX);
+        let mut pc = 0usize;
+        while pc < code.len() {
+            let instr = code[pc];
+            pc += 1;
+            match instr {
+                RInstr::Const { idx, dst } => {
+                    frame[dst as usize] = chunk.consts[idx as usize].clone();
+                }
+                RInstr::Read { slot, dst } => {
+                    let slot = slot as usize;
+                    let value = match &frame[slot] {
+                        Value::Unit => {
+                            return Err(IrError::Unresolved(chunk.slot_names[slot].clone()))
+                        }
+                        value => value.clone(),
+                    };
+                    frame[dst as usize] = value;
+                }
+                RInstr::LoadIndex { arr, idx, dst } => {
+                    let idx = read_opnd(frame, chunk, idx)?
+                        .as_i64()
+                        .ok_or_else(|| IrError::Type("array index must be numeric".into()))?;
+                    frame[dst as usize] = load_index(frame, chunk, arr, idx)?;
+                }
+                RInstr::ReadLoadIndex {
+                    pre,
+                    pre_dst,
+                    arr,
+                    idx,
+                    dst,
+                } => {
+                    // the checked read runs first: the load's index operand
+                    // is usually the temp it produces
+                    let slot = pre as usize;
+                    let value = match &frame[slot] {
+                        Value::Unit => {
+                            return Err(IrError::Unresolved(chunk.slot_names[slot].clone()))
+                        }
+                        value => value.clone(),
+                    };
+                    frame[pre_dst as usize] = value;
+                    let idx = read_opnd(frame, chunk, idx)?
+                        .as_i64()
+                        .ok_or_else(|| IrError::Type("array index must be numeric".into()))?;
+                    frame[dst as usize] = load_index(frame, chunk, arr, idx)?;
+                }
+                RInstr::StoreDecl { src, slot, ty } => {
+                    let value = coerce_scalar(take_opnd(frame, chunk, src)?, ty)?;
+                    let slot = slot as usize;
+                    types[slot] = Some(ty);
+                    store_slot(frame, types, slot, value);
+                }
+                RInstr::DeclDefault { slot, ty } => {
+                    let slot = slot as usize;
+                    types[slot] = Some(ty);
+                    store_slot(frame, types, slot, zero_of(ty));
+                }
+                RInstr::NewArray { slot, ty, size } => {
+                    let slot = slot as usize;
+                    types[slot] = Some(ty);
+                    frame[slot] = Value::Array(vec![zero_of(ty); size as usize]);
+                }
+                RInstr::StoreVar { src, slot } => {
+                    store_var(frame, types, chunk, src, slot)?;
+                }
+                RInstr::StoreIndex { val, idx, slot } => {
+                    let value = take_opnd(frame, chunk, val)?;
+                    let idx = read_opnd(frame, chunk, idx)?
+                        .as_i64()
+                        .ok_or_else(|| IrError::Type("array index must be numeric".into()))?;
+                    store_index(frame, types, chunk, slot, idx, value)?;
+                }
+                RInstr::BinStoreIndex {
+                    op,
+                    l,
+                    r,
+                    idx,
+                    slot,
+                } => {
+                    let unit = self.prec_unit;
+                    let lv = read_opnd(frame, chunk, l)?;
+                    let rv = read_opnd(frame, chunk, r)?;
+                    let out = ops::apply_binary_with(op, lv, rv, &self.cost_model, || unit, stats)?;
+                    let idx = read_opnd(frame, chunk, idx)?
+                        .as_i64()
+                        .ok_or_else(|| IrError::Type("array index must be numeric".into()))?;
+                    store_index(frame, types, chunk, slot, idx, out)?;
+                }
+                RInstr::StoreForInit { src, slot } => {
+                    let value = coerce_scalar(take_opnd(frame, chunk, src)?, Type::Int)?;
+                    let slot = slot as usize;
+                    types[slot] = Some(Type::Int);
+                    store_slot(frame, types, slot, value);
+                }
+                RInstr::StoreForStep { src, slot } => {
+                    // no type re-bind: the loop body may have re-declared
+                    // the induction variable with a different type
+                    let value = coerce_scalar(take_opnd(frame, chunk, src)?, Type::Int)?;
+                    store_slot(frame, types, slot as usize, value);
+                }
+                RInstr::StoreForStepJump { src, slot, target } => {
+                    let value = coerce_scalar(take_opnd(frame, chunk, src)?, Type::Int)?;
+                    store_slot(frame, types, slot as usize, value);
+                    pc = target as usize;
+                }
+                RInstr::Unary { op, src, dst } => {
+                    let unit = self.prec_unit;
+                    let value = read_opnd(frame, chunk, src)?;
+                    let out = ops::apply_unary_with(op, value, &self.cost_model, || unit, stats)?;
+                    frame[dst as usize] = out;
+                }
+                RInstr::Binary { op, l, r, dst } => {
+                    let unit = self.prec_unit;
+                    let lv = read_opnd(frame, chunk, l)?;
+                    let rv = read_opnd(frame, chunk, r)?;
+                    let out = ops::apply_binary_with(op, lv, rv, &self.cost_model, || unit, stats)?;
+                    frame[dst as usize] = out;
+                }
+                RInstr::BinLoad {
+                    op,
+                    l,
+                    arr,
+                    idx,
+                    dst,
+                } => {
+                    // the swallowed load supplied the right operand, so its
+                    // errors (and the index resolution) come first
+                    let idxv = read_opnd(frame, chunk, idx)?
+                        .as_i64()
+                        .ok_or_else(|| IrError::Type("array index must be numeric".into()))?;
+                    let rv = load_index(frame, chunk, arr, idxv)?;
+                    let unit = self.prec_unit;
+                    let lv = read_opnd(frame, chunk, l)?;
+                    let out =
+                        ops::apply_binary_with(op, lv, &rv, &self.cost_model, || unit, stats)?;
+                    frame[dst as usize] = out;
+                }
+                RInstr::BinLoadIndex { op, l, r, arr, dst } => {
+                    // the binary result is the load's index: apply (and
+                    // charge) first, then resolve the indexed read
+                    let unit = self.prec_unit;
+                    let lv = read_opnd(frame, chunk, l)?;
+                    let rv = read_opnd(frame, chunk, r)?;
+                    let out = ops::apply_binary_with(op, lv, rv, &self.cost_model, || unit, stats)?;
+                    let idxv = out
+                        .as_i64()
+                        .ok_or_else(|| IrError::Type("array index must be numeric".into()))?;
+                    frame[dst as usize] = load_index(frame, chunk, arr, idxv)?;
+                }
+                RInstr::BinJumpIfFalsy { op, l, r, target } => {
+                    let unit = self.prec_unit;
+                    let lv = read_opnd(frame, chunk, l)?;
+                    let rv = read_opnd(frame, chunk, r)?;
+                    let out = ops::apply_binary_with(op, lv, rv, &self.cost_model, || unit, stats)?;
+                    if !out.truthy() {
+                        pc = target as usize;
+                    }
+                }
+                RInstr::BinStoreForStepJump {
+                    op,
+                    l,
+                    r,
+                    slot,
+                    target,
+                } => {
+                    let unit = self.prec_unit;
+                    let lv = read_opnd(frame, chunk, l)?;
+                    let rv = read_opnd(frame, chunk, r)?;
+                    let out = ops::apply_binary_with(op, lv, rv, &self.cost_model, || unit, stats)?;
+                    let value = coerce_scalar(out, Type::Int)?;
+                    store_slot(frame, types, slot as usize, value);
+                    pc = target as usize;
+                }
+                RInstr::MeterBinStoreForStepJump {
+                    cost,
+                    mem_ops,
+                    op,
+                    l,
+                    r,
+                    slot,
+                    target,
+                } => {
+                    stats.charge(cost)?;
+                    stats.mem_ops = stats.mem_ops.saturating_add(u64::from(mem_ops));
+                    let unit = self.prec_unit;
+                    let lv = read_opnd(frame, chunk, l)?;
+                    let rv = read_opnd(frame, chunk, r)?;
+                    let out = ops::apply_binary_with(op, lv, rv, &self.cost_model, || unit, stats)?;
+                    let value = coerce_scalar(out, Type::Int)?;
+                    store_slot(frame, types, slot as usize, value);
+                    pc = target as usize;
+                }
+                RInstr::BinPopPrecStoreVar { op, l, r, slot } => {
+                    let unit = self.prec_unit;
+                    let lv = read_opnd(frame, chunk, l)?;
+                    let rv = read_opnd(frame, chunk, r)?;
+                    let out = ops::apply_binary_with(op, lv, rv, &self.cost_model, || unit, stats)?;
+                    if let Some(saved) = self.prec_stack.pop() {
+                        self.set_prec(saved);
+                    }
+                    store_var_value(frame, types, chunk, slot, out)?;
+                }
+                RInstr::BinPopPrecStoreDecl { op, l, r, slot, ty } => {
+                    let unit = self.prec_unit;
+                    let lv = read_opnd(frame, chunk, l)?;
+                    let rv = read_opnd(frame, chunk, r)?;
+                    let out = ops::apply_binary_with(op, lv, rv, &self.cost_model, || unit, stats)?;
+                    if let Some(saved) = self.prec_stack.pop() {
+                        self.set_prec(saved);
+                    }
+                    let value = coerce_scalar(out, ty)?;
+                    let slot = slot as usize;
+                    types[slot] = Some(ty);
+                    store_slot(frame, types, slot, value);
+                }
+                RInstr::CheckPushPrec(bits) => {
+                    if stats.cost > budget {
+                        return Err(IrError::BudgetExceeded { limit: budget });
+                    }
+                    self.prec_stack.push(self.prec_ctx);
+                    if let Some(bits) = bits {
+                        self.set_prec(bits);
+                    }
+                }
+                RInstr::CheckPushPrecOf(slot) => {
+                    if stats.cost > budget {
+                        return Err(IrError::BudgetExceeded { limit: budget });
+                    }
+                    self.prec_stack.push(self.prec_ctx);
+                    if let Some(bits) = types[slot as usize].and_then(Type::mantissa_bits) {
+                        self.set_prec(bits);
+                    }
+                }
+                RInstr::CastBool { src, dst } => {
+                    let truthy = read_opnd(frame, chunk, src)?.truthy();
+                    frame[dst as usize] = Value::Int(i64::from(truthy));
+                }
+                RInstr::Jump(target) => pc = target as usize,
+                RInstr::JumpIfFalsy { cond, target } => {
+                    if !read_opnd(frame, chunk, cond)?.truthy() {
+                        pc = target as usize;
+                    }
+                }
+                RInstr::MeterJumpIfFalsy {
+                    cost,
+                    mem_ops,
+                    cond,
+                    target,
+                } => {
+                    stats.charge(cost)?;
+                    stats.mem_ops = stats.mem_ops.saturating_add(u64::from(mem_ops));
+                    if !read_opnd(frame, chunk, cond)?.truthy() {
+                        pc = target as usize;
+                    }
+                }
+                RInstr::AndProbe { cond, dst, target } => {
+                    if !read_opnd(frame, chunk, cond)?.truthy() {
+                        frame[dst as usize] = Value::Int(0);
+                        pc = target as usize;
+                    }
+                }
+                RInstr::OrProbe { cond, dst, target } => {
+                    if read_opnd(frame, chunk, cond)?.truthy() {
+                        frame[dst as usize] = Value::Int(1);
+                        pc = target as usize;
+                    }
+                }
+                RInstr::Call {
+                    callee,
+                    argc,
+                    copyout,
+                    base,
+                } => {
+                    let base = base as usize;
+                    let mut args = Vec::with_capacity(argc as usize);
+                    for k in 0..argc as usize {
+                        args.push(std::mem::replace(&mut frame[base + k], Value::Unit));
+                    }
+                    // nested calls (and host calls / builtins inside them)
+                    // accrue into the environment: flush the local copy
+                    // across the boundary in both directions
+                    env.stats = *stats;
+                    let nested =
+                        self.call_with_writeback(&chunk.callees[callee as usize], args, env);
+                    *stats = env.stats;
+                    let (value, writeback) = nested?;
+                    // copy-out: array arguments passed as plain variables
+                    // get the callee's final contents back
+                    let map = &chunk.copyouts[copyout as usize];
+                    for (param_idx, array) in writeback {
+                        if let Some(&(_, slot)) =
+                            map.iter().find(|(arg_i, _)| *arg_i as usize == param_idx)
+                        {
+                            let slot = slot as usize;
+                            if !matches!(frame[slot], Value::Unit) {
+                                frame[slot] = array;
+                            }
+                        }
+                    }
+                    frame[base] = value;
+                }
+                RInstr::Ret { src } => return take_opnd(frame, chunk, src),
+                RInstr::RetUnit => return Ok(Value::Unit),
+                RInstr::Meter { cost, mem_ops } => {
+                    stats.charge(cost)?;
+                    stats.mem_ops = stats.mem_ops.saturating_add(u64::from(mem_ops));
+                }
+                RInstr::MeterCheck { cost, mem_ops } => {
+                    stats.charge(cost)?;
+                    stats.mem_ops = stats.mem_ops.saturating_add(u64::from(mem_ops));
+                    if stats.cost > budget {
+                        return Err(IrError::BudgetExceeded { limit: budget });
+                    }
+                }
+                RInstr::LoopTick { cost, mem_ops } => {
+                    stats.charge(cost)?;
+                    stats.mem_ops = stats.mem_ops.saturating_add(u64::from(mem_ops));
+                    stats.loop_iters = stats.loop_iters.saturating_add(1);
+                    if stats.cost > budget {
+                        return Err(IrError::BudgetExceeded { limit: budget });
+                    }
+                }
+                RInstr::LoopTickPushPrec {
+                    cost,
+                    mem_ops,
+                    bits,
+                } => {
+                    stats.charge(cost)?;
+                    stats.mem_ops = stats.mem_ops.saturating_add(u64::from(mem_ops));
+                    stats.loop_iters = stats.loop_iters.saturating_add(1);
+                    if stats.cost > budget {
+                        return Err(IrError::BudgetExceeded { limit: budget });
+                    }
+                    self.prec_stack.push(self.prec_ctx);
+                    if let Some(bits) = bits {
+                        self.set_prec(bits);
+                    }
+                }
+                RInstr::LoopTickPushPrecOf {
+                    cost,
+                    mem_ops,
+                    slot,
+                } => {
+                    stats.charge(cost)?;
+                    stats.mem_ops = stats.mem_ops.saturating_add(u64::from(mem_ops));
+                    stats.loop_iters = stats.loop_iters.saturating_add(1);
+                    if stats.cost > budget {
+                        return Err(IrError::BudgetExceeded { limit: budget });
+                    }
+                    self.prec_stack.push(self.prec_ctx);
+                    if let Some(bits) = types[slot as usize].and_then(Type::mantissa_bits) {
+                        self.set_prec(bits);
+                    }
+                }
+                RInstr::TickLoop => {
+                    stats.loop_iters = stats.loop_iters.saturating_add(1);
+                }
+                RInstr::Check => {
+                    if stats.cost > budget {
+                        return Err(IrError::BudgetExceeded { limit: budget });
+                    }
+                }
+                RInstr::PushPrec(bits) => {
+                    self.prec_stack.push(self.prec_ctx);
+                    if let Some(bits) = bits {
+                        self.set_prec(bits);
+                    }
+                }
+                RInstr::PushPrecOf(slot) => {
+                    self.prec_stack.push(self.prec_ctx);
+                    if let Some(bits) = types[slot as usize].and_then(Type::mantissa_bits) {
+                        self.set_prec(bits);
+                    }
+                }
+                RInstr::PopPrec => {
+                    if let Some(saved) = self.prec_stack.pop() {
+                        self.set_prec(saved);
+                    }
+                }
+                RInstr::PopPrecStoreVar { src, slot } => {
+                    if let Some(saved) = self.prec_stack.pop() {
+                        self.set_prec(saved);
+                    }
+                    store_var(frame, types, chunk, src, slot)?;
+                }
+                RInstr::PopPrecStoreDecl { src, slot, ty } => {
+                    if let Some(saved) = self.prec_stack.pop() {
+                        self.set_prec(saved);
+                    }
+                    let value = coerce_scalar(take_opnd(frame, chunk, src)?, ty)?;
+                    let slot = slot as usize;
+                    types[slot] = Some(ty);
+                    store_slot(frame, types, slot, value);
+                }
+                RInstr::TraceHead { trace } => {
+                    let t = reg.traces[trace as usize];
+                    match self.run_trace(&t, frame, types, stats, budget)? {
+                        Some(exit) => pc = exit as usize,
+                        None => {
+                            // validation declined the trace: execute the
+                            // head condition the trace replaced and fall
+                            // through to the generic body
+                            let unit = self.prec_unit;
+                            let lv = read_opnd(frame, chunk, t.cond_l)?;
+                            let rv = read_opnd(frame, chunk, t.cond_r)?;
+                            let out = ops::apply_binary_with(
+                                BinOp::Lt,
+                                lv,
+                                rv,
+                                &self.cost_model,
+                                || unit,
+                                stats,
+                            )?;
+                            if !out.truthy() {
+                                pc = t.exit as usize;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Value::Unit)
+    }
+
+    /// Executes a recognized loop trace natively, or returns `Ok(None)`
+    /// (with **no** side effects) when entry validation cannot prove the
+    /// native loop equivalent to the generic body.
+    ///
+    /// Validation establishes that the only errors the loop can raise are
+    /// accounting failures (`CostOverflow` / `BudgetExceeded`): counter,
+    /// bound and base are bound `Int`s, the accumulator a `Float` with a
+    /// float (or absent) type binding, every index the loop will touch is
+    /// in bounds, every element it will read a `Float`, and the counter
+    /// never overflows. The loop then replays the *exact* charge sequence
+    /// of the generic instructions — one checked charge per original
+    /// charge, in original order, with the budget checkpoint at the loop
+    /// tick and one `count_flops` call per float op so `flop_energy`
+    /// accumulates bit-identically. On an accounting failure mid-loop the
+    /// frame is left exactly as the generic engine would leave it
+    /// (counter and accumulator at their last stored values) and, if the
+    /// failure falls inside the loop's pushed precision window, that push
+    /// is reconstructed before the error propagates.
+    fn run_trace(
+        &mut self,
+        t: &Trace,
+        frame: &mut [Value],
+        types: &mut [Option<Type>],
+        stats: &mut ExecStats,
+        budget: u64,
+    ) -> Result<Option<u32>, IrError> {
+        let Value::Int(i0) = frame[t.ctr as usize] else {
+            return Ok(None);
+        };
+        let bound = match t.bound {
+            Bound::Const(b) => b,
+            Bound::Slot(s) => match frame[s as usize] {
+                Value::Int(b) => b,
+                _ => return Ok(None),
+            },
+        };
+        // the counter values the loop will visit: i0, i0+step, .., last;
+        // the loop leaves the counter at last+step, which must not wrap
+        // (a wrapping counter re-enters the loop with unvalidated indices)
+        let range = if i0 < bound {
+            let Some(last) = (bound - 1)
+                .checked_sub(i0)
+                .map(|span| span / t.step)
+                .and_then(|k| k.checked_mul(t.step))
+                .and_then(|d| i0.checked_add(d))
+            else {
+                return Ok(None);
+            };
+            if last.checked_add(t.step).is_none() {
+                return Ok(None);
+            }
+            Some((i0, last))
+        } else {
+            None
+        };
+        let outer_prec = self.prec_ctx;
+        let eff_bits = types[t.prec_slot as usize]
+            .and_then(Type::mantissa_bits)
+            .unwrap_or(outer_prec);
+        let unit = ops::flop_unit(eff_bits);
+        let cm = &self.cost_model;
+        let (c_int, c_intmul, c_fmul, c_fop) = (cm.int_op, cm.int_mul, cm.float_mul, cm.float_op);
+        match t.kind {
+            TraceKind::Reduce {
+                acc,
+                arr_a,
+                arr_b,
+                base,
+            } => {
+                let acc_slot = acc as usize;
+                let Value::Float(acc0) = frame[acc_slot] else {
+                    return Ok(None);
+                };
+                let acc_ty = types[acc_slot];
+                if acc_ty.is_some_and(|ty| !ty.is_float()) {
+                    return Ok(None);
+                }
+                // the base product is loop-invariant only if its slot is
+                // not the counter; checked here, wrapping in the generic
+                // tier, so any overflow falls back
+                let base_val = match base {
+                    None => 0i64,
+                    Some((slot, factor)) => {
+                        if slot == t.ctr {
+                            return Ok(None);
+                        }
+                        let Value::Int(v) = frame[slot as usize] else {
+                            return Ok(None);
+                        };
+                        match v.checked_mul(factor) {
+                            Some(b) => b,
+                            None => return Ok(None),
+                        }
+                    }
+                };
+                let Some((lo, hi)) = range else {
+                    // zero iterations: only the failing head condition runs
+                    stats.charge(c_int)?;
+                    return Ok(Some(t.exit));
+                };
+                let (mut i, mut acc) = (i0, acc0);
+                let fail = {
+                    let (Value::Array(a_items), Value::Array(b_items)) =
+                        (&frame[arr_a as usize], &frame[arr_b as usize])
+                    else {
+                        return Ok(None);
+                    };
+                    let (Some(alo), Some(ahi)) =
+                        (lo.checked_add(base_val), hi.checked_add(base_val))
+                    else {
+                        return Ok(None);
+                    };
+                    if !all_floats(a_items, alo, ahi) || !all_floats(b_items, lo, hi) {
+                        return Ok(None);
+                    }
+                    let mut fail: Option<(IrError, bool)> = None;
+                    loop {
+                        // head condition (always Int < Int here)
+                        if let Err(e) = stats.charge(c_int) {
+                            fail = Some((e, false));
+                            break;
+                        }
+                        if i >= bound {
+                            break;
+                        }
+                        // loop tick: charge, traffic, iteration, budget
+                        if let Err(e) = stats.charge(t.tick_cost) {
+                            fail = Some((e, false));
+                            break;
+                        }
+                        stats.mem_ops = stats.mem_ops.saturating_add(u64::from(t.tick_mem));
+                        stats.loop_iters = stats.loop_iters.saturating_add(1);
+                        if stats.cost > budget {
+                            fail = Some((IrError::BudgetExceeded { limit: budget }, false));
+                            break;
+                        }
+                        // precision context pushed from here to the store
+                        if base.is_some() {
+                            // base product and index addition (int charges)
+                            if let Err(e) = stats.charge(c_intmul) {
+                                fail = Some((e, true));
+                                break;
+                            }
+                            if let Err(e) = stats.charge(c_int) {
+                                fail = Some((e, true));
+                                break;
+                            }
+                        }
+                        let av = felem(a_items, base_val + i);
+                        let bv = felem(b_items, i);
+                        if let Err(e) = stats.charge(c_fmul) {
+                            fail = Some((e, true));
+                            break;
+                        }
+                        stats.count_flops(1, unit);
+                        let m = av * bv;
+                        if let Err(e) = stats.charge(c_fop) {
+                            fail = Some((e, true));
+                            break;
+                        }
+                        stats.count_flops(1, unit);
+                        acc = quantize_opt(acc_ty, acc + m);
+                        // precision popped (balanced); bottom-of-loop meter
+                        if let Err(e) = stats.charge(t.meter_cost) {
+                            fail = Some((e, false));
+                            break;
+                        }
+                        stats.mem_ops = stats.mem_ops.saturating_add(u64::from(t.meter_mem));
+                        if let Err(e) = stats.charge(c_int) {
+                            fail = Some((e, false));
+                            break;
+                        }
+                        i = i.wrapping_add(t.step);
+                    }
+                    fail
+                };
+                frame[t.ctr as usize] = Value::Int(i);
+                frame[acc_slot] = Value::Float(acc);
+                if let Some((e, prec_pushed)) = fail {
+                    if prec_pushed {
+                        self.prec_stack.push(outer_prec);
+                        self.set_prec(eff_bits);
+                    }
+                    return Err(e);
+                }
+                Ok(Some(t.exit))
+            }
+            TraceKind::Stencil3 {
+                taps,
+                arr_out,
+                w,
+                offs,
+            } => {
+                let out_slot = arr_out as usize;
+                let out_ty = types[out_slot];
+                let Some((lo, hi)) = range else {
+                    stats.charge(c_int)?;
+                    return Ok(Some(t.exit));
+                };
+                let tap_offs = [offs[0], 0, offs[1]];
+                {
+                    let Value::Array(out_items) = &frame[out_slot] else {
+                        return Ok(None);
+                    };
+                    if lo < 0 || hi >= out_items.len() as i64 {
+                        return Ok(None);
+                    }
+                    for (k, &off) in tap_offs.iter().enumerate() {
+                        let (Some(tlo), Some(thi)) = (lo.checked_add(off), hi.checked_add(off))
+                        else {
+                            return Ok(None);
+                        };
+                        let Value::Array(items) = &frame[taps[k] as usize] else {
+                            return Ok(None);
+                        };
+                        if !all_floats(items, tlo, thi) {
+                            return Ok(None);
+                        }
+                    }
+                }
+                // the output array is taken out of the frame so loads from
+                // a tap that aliases it observe stores in program order;
+                // it is restored on every exit path below
+                let mut out_vec = match std::mem::replace(&mut frame[out_slot], Value::Unit) {
+                    Value::Array(v) => v,
+                    _ => unreachable!("validated as an array above"),
+                };
+                let mut i = i0;
+                let mut fail: Option<(IrError, bool)> = None;
+                loop {
+                    if let Err(e) = stats.charge(c_int) {
+                        fail = Some((e, false));
+                        break;
+                    }
+                    if i >= bound {
+                        break;
+                    }
+                    if let Err(e) = stats.charge(t.tick_cost) {
+                        fail = Some((e, false));
+                        break;
+                    }
+                    stats.mem_ops = stats.mem_ops.saturating_add(u64::from(t.tick_mem));
+                    stats.loop_iters = stats.loop_iters.saturating_add(1);
+                    if stats.cost > budget {
+                        fail = Some((IrError::BudgetExceeded { limit: budget }, false));
+                        break;
+                    }
+                    // precision window: first tap index (int), then the
+                    // three weighted taps with their float charges
+                    if let Err(e) = stats.charge(c_int) {
+                        fail = Some((e, true));
+                        break;
+                    }
+                    let v0 = tap_read(frame, out_slot, &out_vec, taps[0], i + tap_offs[0]);
+                    if let Err(e) = stats.charge(c_fmul) {
+                        fail = Some((e, true));
+                        break;
+                    }
+                    stats.count_flops(1, unit);
+                    let mut sum = w[0] * v0;
+                    let v1 = tap_read(frame, out_slot, &out_vec, taps[1], i);
+                    if let Err(e) = stats.charge(c_fmul) {
+                        fail = Some((e, true));
+                        break;
+                    }
+                    stats.count_flops(1, unit);
+                    let p1 = w[1] * v1;
+                    if let Err(e) = stats.charge(c_fop) {
+                        fail = Some((e, true));
+                        break;
+                    }
+                    stats.count_flops(1, unit);
+                    sum += p1;
+                    if let Err(e) = stats.charge(c_int) {
+                        fail = Some((e, true));
+                        break;
+                    }
+                    let v2 = tap_read(frame, out_slot, &out_vec, taps[2], i + tap_offs[2]);
+                    if let Err(e) = stats.charge(c_fmul) {
+                        fail = Some((e, true));
+                        break;
+                    }
+                    stats.count_flops(1, unit);
+                    let p2 = w[2] * v2;
+                    if let Err(e) = stats.charge(c_fop) {
+                        fail = Some((e, true));
+                        break;
+                    }
+                    stats.count_flops(1, unit);
+                    sum += p2;
+                    // precision popped before the store; the store
+                    // quantizes per the output's element type
+                    out_vec[i as usize] = Value::Float(quantize_opt(out_ty, sum));
+                    if let Err(e) = stats.charge(t.meter_cost) {
+                        fail = Some((e, false));
+                        break;
+                    }
+                    stats.mem_ops = stats.mem_ops.saturating_add(u64::from(t.meter_mem));
+                    if let Err(e) = stats.charge(c_int) {
+                        fail = Some((e, false));
+                        break;
+                    }
+                    i = i.wrapping_add(t.step);
+                }
+                frame[out_slot] = Value::Array(out_vec);
+                frame[t.ctr as usize] = Value::Int(i);
+                if let Some((e, prec_pushed)) = fail {
+                    if prec_pushed {
+                        self.prec_stack.push(outer_prec);
+                        self.set_prec(eff_bits);
+                    }
+                    return Err(e);
+                }
+                Ok(Some(t.exit))
+            }
+        }
+    }
+}
+
+/// Resolves an operand to a borrowed value: a temporary directly, a named
+/// slot with the unresolved-variable check, or a pool constant.
+#[inline]
+fn read_opnd<'a>(frame: &'a [Value], chunk: &'a Chunk, o: u16) -> Result<&'a Value, IrError> {
+    let idx = (o & IDX_MASK) as usize;
+    match o & TAG_MASK {
+        0 => Ok(&frame[idx]),
+        TAG_SLOT => match &frame[idx] {
+            Value::Unit => Err(IrError::Unresolved(chunk.slot_names[idx].clone())),
+            value => Ok(value),
+        },
+        _ => Ok(&chunk.consts[idx]),
+    }
+}
+
+/// Resolves an operand to an owned value; temporaries are moved out (each
+/// is consumed exactly once), slots and constants are cloned.
+#[inline]
+fn take_opnd(frame: &mut [Value], chunk: &Chunk, o: u16) -> Result<Value, IrError> {
+    let idx = (o & IDX_MASK) as usize;
+    match o & TAG_MASK {
+        0 => Ok(std::mem::replace(&mut frame[idx], Value::Unit)),
+        TAG_SLOT => match &frame[idx] {
+            Value::Unit => Err(IrError::Unresolved(chunk.slot_names[idx].clone())),
+            value => Ok(value.clone()),
+        },
+        _ => Ok(chunk.consts[idx].clone()),
+    }
+}
+
+/// `StoreVar`: resolve the source, require the destination bound, coerce
+/// per its dynamic type binding, store.
+#[inline]
+fn store_var(
+    frame: &mut [Value],
+    types: &[Option<Type>],
+    chunk: &Chunk,
+    src: u16,
+    slot: u16,
+) -> Result<(), IrError> {
+    let value = take_opnd(frame, chunk, src)?;
+    store_var_value(frame, types, chunk, slot, value)
+}
+
+/// `StoreVar` with an already-resolved source value.
+#[inline]
+fn store_var_value(
+    frame: &mut [Value],
+    types: &[Option<Type>],
+    chunk: &Chunk,
+    slot: u16,
+    value: Value,
+) -> Result<(), IrError> {
+    let slot = slot as usize;
+    if matches!(frame[slot], Value::Unit) {
+        return Err(IrError::Unresolved(chunk.slot_names[slot].clone()));
+    }
+    let coerced = match types[slot] {
+        Some(ty) => coerce_scalar_or_array(value, ty)?,
+        None => value,
+    };
+    store_slot(frame, types, slot, coerced);
+    Ok(())
+}
+
+/// Indexed read out of a named array slot, with the interpreter's exact
+/// error vocabulary (unresolved → not-an-array → negative → out-of-bounds).
+#[inline]
+fn load_index(frame: &[Value], chunk: &Chunk, arr: u16, idx: i64) -> Result<Value, IrError> {
+    let slot = arr as usize;
+    let name = &chunk.slot_names[slot];
+    let array = match &frame[slot] {
+        Value::Unit => return Err(IrError::Unresolved(name.clone())),
+        value => value,
+    };
+    let Value::Array(items) = array else {
+        return Err(IrError::Type(format!("`{name}` is not an array")));
+    };
+    let len = items.len();
+    items
+        .get(
+            usize::try_from(idx)
+                .map_err(|_| IrError::Eval(format!("negative index {idx} into `{name}`")))?,
+        )
+        .cloned()
+        .ok_or_else(|| {
+            IrError::Eval(format!(
+                "index {idx} out of bounds for `{name}` (len {len})"
+            ))
+        })
+}
+
+/// Indexed write into a named array slot, quantizing float elements per
+/// the slot's declared element type.
+#[inline]
+fn store_index(
+    frame: &mut [Value],
+    types: &[Option<Type>],
+    chunk: &Chunk,
+    slot: u16,
+    idx: i64,
+    mut value: Value,
+) -> Result<(), IrError> {
+    let slot = slot as usize;
+    let elem_ty = types[slot];
+    let name = &chunk.slot_names[slot];
+    let array = match &mut frame[slot] {
+        Value::Unit => return Err(IrError::Unresolved(name.clone())),
+        value => value,
+    };
+    let Value::Array(items) = array else {
+        return Err(IrError::Type(format!("`{name}` is not an array")));
+    };
+    let len = items.len();
+    let cell = items
+        .get_mut(
+            usize::try_from(idx)
+                .map_err(|_| IrError::Eval(format!("negative index {idx} into `{name}`")))?,
+        )
+        .ok_or_else(|| {
+            IrError::Eval(format!(
+                "index {idx} out of bounds for `{name}` (len {len})"
+            ))
+        })?;
+    if let (Some(ty), Value::Float(v)) = (elem_ty, &value) {
+        value = Value::Float(ty.quantize(*v));
+    }
+    *cell = value;
+    Ok(())
+}
+
+/// Trace validation: every element of `items[lo..=hi]` exists and is a
+/// `Float`. A strided trace reads a subset of this range, so the check is
+/// conservative (a non-float in a skipped element only costs the trace).
+fn all_floats(items: &[Value], lo: i64, hi: i64) -> bool {
+    if lo < 0 || hi >= items.len() as i64 {
+        return false;
+    }
+    items[lo as usize..=hi as usize]
+        .iter()
+        .all(|v| matches!(v, Value::Float(_)))
+}
+
+/// Trace body: an element access whose bounds and kind were proven by
+/// entry validation.
+#[inline]
+fn felem(items: &[Value], idx: i64) -> f64 {
+    match items[idx as usize] {
+        Value::Float(v) => v,
+        _ => unreachable!("trace entry validation proved a float element"),
+    }
+}
+
+/// Trace body: a stencil tap read, observing in-flight stores when the
+/// tap aliases the (taken-out) output array.
+#[inline]
+fn tap_read(frame: &[Value], out_slot: usize, out_vec: &[Value], slot: u16, idx: i64) -> f64 {
+    let items = if slot as usize == out_slot {
+        out_vec
+    } else {
+        match &frame[slot as usize] {
+            Value::Array(items) => items,
+            _ => unreachable!("trace entry validation proved an array"),
+        }
+    };
+    felem(items, idx)
+}
+
+/// The store-side quantization of [`store_slot`]/[`store_index`] on a raw
+/// `f64` (identity when the binding is absent or full-width).
+#[inline]
+fn quantize_opt(ty: Option<Type>, v: f64) -> f64 {
+    match ty {
+        Some(ty) => ty.quantize(v),
+        None => v,
+    }
+}
+
+/// Stores into a slot, quantizing floats per the slot's dynamic type
+/// binding (mirrors the interpreter's `Frame::store`).
+fn store_slot(frame: &mut [Value], types: &[Option<Type>], slot: usize, mut value: Value) {
+    if let (Some(ty), Value::Float(v)) = (types[slot], &value) {
+        value = Value::Float(ty.quantize(*v));
+    }
+    frame[slot] = value;
+}
+
+impl Executor for Vm {
+    fn call(&mut self, name: &str, args: &[Value], env: &mut ExecEnv) -> Result<Value, IrError> {
+        Vm::call(self, name, args, env)
+    }
+
+    fn register_host(&mut self, name: String, f: HostFn) -> Option<HostFn> {
+        Vm::register_host(self, name, f)
+    }
+
+    fn set_budget(&mut self, budget: Option<u64>) {
+        Vm::set_budget(self, budget)
+    }
+
+    fn set_dispatcher(&mut self, dispatcher: Box<dyn Dispatcher>) {
+        Vm::set_dispatcher(self, dispatcher)
+    }
+
+    fn program(&self) -> &Program {
+        Vm::program(self)
+    }
+
+    fn program_mut(&mut self) -> &mut Program {
+        Vm::program_mut(self)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "vm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antarex_ir::cost::ExecStats;
+    use antarex_ir::interp::Interp;
+    use antarex_ir::parse_program;
+    use std::cell::RefCell;
+
+    fn run_both(src: &str, f: &str, args: &[Value]) -> ((Value, ExecStats), (Value, ExecStats)) {
+        let program = parse_program(src).unwrap();
+        let mut interp = Interp::new(program.clone());
+        let mut ienv = ExecEnv::new();
+        let iout = interp.call(f, args, &mut ienv).unwrap();
+        let mut vm = Vm::new(program);
+        let mut venv = ExecEnv::new();
+        let vout = vm.call(f, args, &mut venv).unwrap();
+        ((iout, ienv.stats), (vout, venv.stats))
+    }
+
+    fn assert_identical(src: &str, f: &str, args: &[Value]) {
+        let ((iout, istats), (vout, vstats)) = run_both(src, f, args);
+        assert_eq!(iout, vout, "values differ for {f}");
+        assert_eq!(istats.cost, vstats.cost, "cost differs for {f}");
+        assert_eq!(istats.flops, vstats.flops, "flops differ for {f}");
+        assert_eq!(
+            istats.flop_energy.to_bits(),
+            vstats.flop_energy.to_bits(),
+            "flop_energy differs for {f}"
+        );
+        assert_eq!(istats.mem_ops, vstats.mem_ops, "mem_ops differ for {f}");
+        assert_eq!(
+            istats.loop_iters, vstats.loop_iters,
+            "loop_iters differ for {f}"
+        );
+        assert_eq!(istats.calls, vstats.calls, "calls differ for {f}");
+        assert_eq!(
+            istats.host_calls, vstats.host_calls,
+            "host_calls differ for {f}"
+        );
+    }
+
+    #[test]
+    fn recursion_matches_interp() {
+        assert_identical(
+            "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }",
+            "fib",
+            &[Value::Int(12)],
+        );
+    }
+
+    #[test]
+    fn dot_product_matches_interp() {
+        assert_identical(
+            "double dot(double a[], double b[], int n) {
+                 double s = 0.0;
+                 for (int i = 0; i < n; i++) { s += a[i] * b[i]; }
+                 return s;
+             }",
+            "dot",
+            &[
+                Value::from(vec![1.5, 2.0, -3.25, 4.0]),
+                Value::from(vec![0.5, 1.0, 2.0, -1.0]),
+                Value::Int(4),
+            ],
+        );
+    }
+
+    #[test]
+    fn short_circuit_and_builtins_match_interp() {
+        assert_identical(
+            "double f(double x, int n) {
+                 double acc = 0.0;
+                 for (int i = 0; i < n; i++) {
+                     if (i % 2 == 0 && x > 0.0 || i == 3) { acc += sqrt(x) + pow(x, 2.0); }
+                     else { acc -= fmin(x, 1.0); }
+                 }
+                 return fabs(acc);
+             }",
+            "f",
+            &[Value::Float(2.25), Value::Int(7)],
+        );
+    }
+
+    #[test]
+    fn reduced_precision_matches_interp() {
+        assert_identical(
+            "double f(double a[], int n) {
+                 float4 s = 0.0;
+                 for (int i = 0; i < n; i++) { s += a[i] * 1.0625; }
+                 return s;
+             }",
+            "f",
+            &[Value::from(vec![1.03125, 2.0, 4.125]), Value::Int(3)],
+        );
+    }
+
+    #[test]
+    fn array_copy_out_matches_interp() {
+        assert_identical(
+            "void fill(double a[], int n) { for (int i = 0; i < n; i++) { a[i] = i * 2.0; } }
+             double use() { double buf[4]; fill(buf, 4); return buf[3] + buf[0]; }",
+            "use",
+            &[],
+        );
+    }
+
+    #[test]
+    fn while_and_modulo_match_interp() {
+        assert_identical(
+            "int gcd(int a, int b) { while (b != 0) { int t = a % b; a = b; b = t; } return a; }",
+            "gcd",
+            &[Value::Int(1071), Value::Int(462)],
+        );
+    }
+
+    #[test]
+    fn budget_stops_infinite_loop() {
+        let program = parse_program("void f() { while (1) { } }").unwrap();
+        let mut vm = Vm::new(program);
+        vm.set_budget(Some(10_000));
+        let err = vm.call("f", &[], &mut ExecEnv::new()).unwrap_err();
+        assert!(matches!(err, IrError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn budget_error_is_identical_to_interp() {
+        let src =
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i * i; } return s; }";
+        let program = parse_program(src).unwrap();
+        let mut interp = Interp::new(program.clone());
+        interp.set_budget(Some(500));
+        let ierr = interp
+            .call("f", &[Value::Int(1000)], &mut ExecEnv::new())
+            .unwrap_err();
+        let mut vm = Vm::new(program);
+        vm.set_budget(Some(500));
+        let verr = vm
+            .call("f", &[Value::Int(1000)], &mut ExecEnv::new())
+            .unwrap_err();
+        assert_eq!(ierr, verr);
+    }
+
+    #[test]
+    fn host_call_trace_is_identical() {
+        let src =
+            "void probe(int n) { for (int i = 0; i < n; i++) { record(\"iter\", i, i * i); } }";
+        let program = parse_program(src).unwrap();
+        let run_traced = |engine: &mut dyn Executor| {
+            let collected = std::rc::Rc::new(RefCell::new(Vec::new()));
+            let sink = std::rc::Rc::clone(&collected);
+            engine.register_host(
+                "record".into(),
+                Box::new(move |args: &[Value]| {
+                    sink.borrow_mut().push(args.to_vec());
+                    Ok(Value::Unit)
+                }),
+            );
+            engine
+                .call("probe", &[Value::Int(4)], &mut ExecEnv::new())
+                .unwrap();
+            let trace = collected.borrow().clone();
+            trace
+        };
+        let interp_trace = {
+            let mut interp = Interp::new(program.clone());
+            run_traced(&mut interp)
+        };
+        let vm_trace = {
+            let mut vm = Vm::new(program);
+            run_traced(&mut vm)
+        };
+        assert_eq!(interp_trace, vm_trace);
+        assert_eq!(interp_trace.len(), 4);
+    }
+
+    #[test]
+    fn dispatcher_redirects_and_invalidates_memo() {
+        struct Redirect;
+        impl Dispatcher for Redirect {
+            fn resolve(
+                &mut self,
+                callee: &str,
+                args: &[Value],
+                program: &mut Program,
+            ) -> Result<Option<String>, IrError> {
+                if callee == "kernel" && args == [Value::Int(2)] {
+                    if !program.contains("kernel_2") {
+                        let specialized =
+                            parse_program("int kernel_2(int x) { return 222; }").unwrap();
+                        program.insert((**specialized.function("kernel_2").unwrap()).clone());
+                    }
+                    return Ok(Some("kernel_2".into()));
+                }
+                Ok(None)
+            }
+        }
+        let program =
+            parse_program("int kernel(int x) { return x; } int f(int x) { return kernel(x); }")
+                .unwrap();
+        let mut vm = Vm::new(program);
+        vm.set_dispatcher(Box::new(Redirect));
+        let mut env = ExecEnv::new();
+        assert_eq!(
+            vm.call("f", &[Value::Int(1)], &mut env).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            vm.call("f", &[Value::Int(2)], &mut env).unwrap(),
+            Value::Int(222)
+        );
+        assert!(vm.program().contains("kernel_2"));
+    }
+
+    #[test]
+    fn runaway_recursion_is_caught() {
+        let program = parse_program("int f(int x) { return f(x + 1); }").unwrap();
+        let mut vm = Vm::new(program);
+        vm.set_budget(None);
+        let err = vm
+            .call("f", &[Value::Int(0)], &mut ExecEnv::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("call depth"), "{err}");
+        // the VM remains usable afterwards
+        *vm.program_mut() = parse_program("int g() { return 7; }").unwrap();
+        assert_eq!(
+            vm.call("g", &[], &mut ExecEnv::new()).unwrap(),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn from_compiled_runs_without_a_program() {
+        let program = parse_program("int inc(int x) { return x + 1; }").unwrap();
+        let compiled = Arc::new(crate::lower::lower_program(&program, &CostModel::new()));
+        let mut vm = Vm::from_compiled(compiled);
+        assert_eq!(
+            vm.call("inc", &[Value::Int(41)], &mut ExecEnv::new())
+                .unwrap(),
+            Value::Int(42)
+        );
+        assert!(vm.program().is_empty());
+    }
+
+    #[test]
+    fn program_edit_invalidates_the_memo() {
+        let program = parse_program("int f() { return 1; }").unwrap();
+        let mut vm = Vm::new(program);
+        assert_eq!(
+            vm.call("f", &[], &mut ExecEnv::new()).unwrap(),
+            Value::Int(1)
+        );
+        *vm.program_mut() = parse_program("int f() { return 2; }").unwrap();
+        assert_eq!(
+            vm.call("f", &[], &mut ExecEnv::new()).unwrap(),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn unknown_function_is_unresolved() {
+        let program = parse_program("void f() { ghost(); }").unwrap();
+        let mut vm = Vm::new(program);
+        let err = vm.call("f", &[], &mut ExecEnv::new()).unwrap_err();
+        assert_eq!(err, IrError::Unresolved("ghost".into()));
+    }
+
+    #[test]
+    fn executor_trait_object_works() {
+        let program = parse_program("int inc(int x) { return x + 1; }").unwrap();
+        let mut engine: Box<dyn Executor> = Box::new(Vm::new(program));
+        assert_eq!(engine.engine_name(), "vm");
+        let out = engine
+            .call("inc", &[Value::Int(41)], &mut ExecEnv::new())
+            .unwrap();
+        assert_eq!(out, Value::Int(42));
+    }
+}
