@@ -33,6 +33,7 @@
 //! | o1 | —      | observability plane: worker-invariant traces, dual accounting, SLO burn |
 //! | ad1 | —     | SLO front door: admission tiers, overload shedding, virtual autoscaling |
 //! | v1 | —      | metered bytecode VM: engine equivalence, fused meters, code-cache replay |
+//! | cl1 | §V    | fault-tolerant cluster RTRM: 4096-node hierarchy under a fault storm |
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -41,6 +42,7 @@ pub mod ablations;
 pub mod admission_exp;
 pub mod chaos_exp;
 pub mod claims;
+pub mod cluster_exp;
 pub mod figures;
 pub mod obs_exp;
 pub mod resiliency;
@@ -177,6 +179,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "metered bytecode VM — engine equivalence, fused meters, code-cache replay",
             run: vm_exp::v1_vm_equivalence,
         },
+        Experiment {
+            id: "cl1",
+            title: "cluster RTRM — fault-tolerant hierarchy holds the cap through a fault storm",
+            run: cluster_exp::cl1_cluster_rtrm,
+        },
     ]
 }
 
@@ -248,7 +255,7 @@ mod tests {
                 assert_ne!(a.id, b.id);
             }
         }
-        assert_eq!(experiments.len(), 23);
+        assert_eq!(experiments.len(), 24);
     }
 
     #[test]

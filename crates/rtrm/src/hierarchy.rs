@@ -8,9 +8,22 @@
 //! which pins one uniform P-state from a single global estimate and
 //! cannot react to per-node demand or variability.
 
-use crate::powercap::{estimated_power_w, uniform_split, weighted_split, PowerCapper};
+use crate::error::{check_budget_w, RtrmError};
+use crate::powercap::{estimated_power_w, try_uniform_split, try_weighted_split, PowerCapper};
 use antarex_sim::job::WorkUnit;
 use antarex_sim::node::Node;
+
+fn check_shape(nodes: usize, work: usize) -> Result<(), RtrmError> {
+    if nodes == work {
+        Ok(())
+    } else {
+        Err(RtrmError::ShapeMismatch {
+            what: "one work list per node",
+            expected: nodes,
+            actual: work,
+        })
+    }
+}
 
 /// Outcome of running a managed workload phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,15 +52,38 @@ impl HierarchicalPowerManager {
     ///
     /// Panics if the budget is not positive.
     pub fn new(budget_w: f64) -> Self {
-        assert!(budget_w > 0.0, "budget must be positive");
-        HierarchicalPowerManager { budget_w }
+        Self::try_new(budget_w).expect("budget must be positive")
+    }
+
+    /// Creates a manager, rejecting non-finite or non-positive budgets
+    /// with a typed error instead of panicking.
+    pub fn try_new(budget_w: f64) -> Result<Self, RtrmError> {
+        check_budget_w("cluster budget", budget_w)
+            .map(|budget_w| HierarchicalPowerManager { budget_w })
     }
 
     /// Runs one phase: every node executes its own work list; before each
     /// unit the cluster loop re-splits the budget by remaining demand and
     /// the node loop enforces the local cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there is exactly one work list per node.
     pub fn run_phase(&self, nodes: &mut [Node], work: &[Vec<WorkUnit>]) -> ManagedOutcome {
-        assert_eq!(nodes.len(), work.len(), "one work list per node");
+        self.try_run_phase(nodes, work)
+            .expect("one work list per node")
+    }
+
+    /// [`run_phase`](Self::run_phase) with the shape assertion turned
+    /// into a typed error: a dispatcher that mis-counts its own queue
+    /// gets an [`RtrmError::ShapeMismatch`] back, not a panic in the
+    /// middle of the control loop.
+    pub fn try_run_phase(
+        &self,
+        nodes: &mut [Node],
+        work: &[Vec<WorkUnit>],
+    ) -> Result<ManagedOutcome, RtrmError> {
+        check_shape(nodes.len(), work.len())?;
         let mut node_time = vec![0.0f64; nodes.len()];
         let mut energy = 0.0;
         let mut peak: f64 = 0.0;
@@ -65,7 +101,8 @@ impl HierarchicalPowerManager {
                         * if round < list.len() { 1.0 } else { 0.0 }
                 })
                 .collect();
-            let caps = weighted_split(self.budget_w, &weights);
+            let caps =
+                try_weighted_split(self.budget_w, &weights).ok_or(RtrmError::NoAliveNodes)?;
             let mut round_power = 0.0;
             for (i, node) in nodes.iter_mut().enumerate() {
                 let Some(unit) = work[i].get(round) else {
@@ -84,12 +121,12 @@ impl HierarchicalPowerManager {
                 overshoot += round_power - self.budget_w;
             }
         }
-        ManagedOutcome {
+        Ok(ManagedOutcome {
             energy_j: energy,
             makespan_s: node_time.iter().cloned().fold(0.0, f64::max),
             peak_power_w: peak,
             overshoot_ws: overshoot,
-        }
+        })
     }
 }
 
@@ -107,15 +144,35 @@ impl FlatPowerManager {
     ///
     /// Panics if the budget is not positive.
     pub fn new(budget_w: f64) -> Self {
-        assert!(budget_w > 0.0, "budget must be positive");
-        FlatPowerManager { budget_w }
+        Self::try_new(budget_w).expect("budget must be positive")
+    }
+
+    /// Creates the flat manager, rejecting invalid budgets with a typed
+    /// error instead of panicking.
+    pub fn try_new(budget_w: f64) -> Result<Self, RtrmError> {
+        check_budget_w("cluster budget", budget_w).map(|budget_w| FlatPowerManager { budget_w })
     }
 
     /// Runs one phase with a single uniform P-state for every node,
     /// derived from the uniform budget split against node 0's estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there is exactly one work list per node.
     pub fn run_phase(&self, nodes: &mut [Node], work: &[Vec<WorkUnit>]) -> ManagedOutcome {
-        assert_eq!(nodes.len(), work.len(), "one work list per node");
-        let caps = uniform_split(self.budget_w, nodes.len());
+        self.try_run_phase(nodes, work)
+            .expect("one work list per node")
+    }
+
+    /// [`run_phase`](Self::run_phase) with typed errors in place of the
+    /// shape assertion and the empty-cluster panic.
+    pub fn try_run_phase(
+        &self,
+        nodes: &mut [Node],
+        work: &[Vec<WorkUnit>],
+    ) -> Result<ManagedOutcome, RtrmError> {
+        check_shape(nodes.len(), work.len())?;
+        let caps = try_uniform_split(self.budget_w, nodes.len()).ok_or(RtrmError::NoAliveNodes)?;
         // one decision, from the first node's estimate only
         let mut pstate = 0;
         for idx in 0..nodes[0].spec().pstates.len() {
@@ -145,12 +202,12 @@ impl FlatPowerManager {
                 overshoot += round_power - self.budget_w;
             }
         }
-        ManagedOutcome {
+        Ok(ManagedOutcome {
             energy_j: energy,
             makespan_s: node_time.iter().cloned().fold(0.0, f64::max),
             peak_power_w: peak,
             overshoot_ws: overshoot,
-        }
+        })
     }
 }
 
@@ -235,5 +292,44 @@ mod tests {
     fn mismatched_work_rejected() {
         let mut pool = varied_pool(2, 13);
         HierarchicalPowerManager::new(600.0).run_phase(&mut pool, &[vec![]]);
+    }
+
+    #[test]
+    fn try_apis_return_typed_errors_instead_of_panicking() {
+        use crate::error::RtrmError;
+        for bad in [0.0, -100.0, f64::NAN, f64::INFINITY] {
+            assert!(HierarchicalPowerManager::try_new(bad).is_err(), "{bad}");
+            assert!(FlatPowerManager::try_new(bad).is_err(), "{bad}");
+        }
+        let hier = HierarchicalPowerManager::try_new(600.0).expect("valid budget");
+        let mut pool = varied_pool(2, 14);
+        assert_eq!(
+            hier.try_run_phase(&mut pool, &[vec![]]),
+            Err(RtrmError::ShapeMismatch {
+                what: "one work list per node",
+                expected: 2,
+                actual: 1
+            })
+        );
+        let flat = FlatPowerManager::try_new(600.0).expect("valid budget");
+        assert!(flat.try_run_phase(&mut pool, &[vec![]]).is_err());
+        // the empty cluster is an error, not a panic
+        assert_eq!(
+            flat.try_run_phase(&mut [], &[]),
+            Err(RtrmError::NoAliveNodes)
+        );
+    }
+
+    #[test]
+    fn try_run_phase_matches_the_panicking_form() {
+        let work = skewed_work(4);
+        let mut pool_a = varied_pool(4, 15);
+        let via_panic = HierarchicalPowerManager::new(700.0).run_phase(&mut pool_a, &work);
+        let mut pool_b = varied_pool(4, 15);
+        let via_result = HierarchicalPowerManager::try_new(700.0)
+            .unwrap()
+            .try_run_phase(&mut pool_b, &work)
+            .unwrap();
+        assert_eq!(via_panic, via_result);
     }
 }

@@ -26,11 +26,18 @@
 //! * [`hierarchy`] — the multi-layer control loop composing cluster power
 //!   budgeting, job-level managers and node governors;
 //! * [`checkpoint`] — coordinated checkpoint/restart with a tunable
-//!   interval (Daly-optimal baseline) for the resiliency experiments.
+//!   interval (Daly-optimal baseline) for the resiliency experiments;
+//! * [`cluster_ctrl`] — the fault-tolerant cluster-scale control plane:
+//!   facility budget tracking ambient cooling efficiency, sensor-hardened
+//!   per-node region cappers, checkpoint-based requeue on node crashes;
+//! * [`error`] — typed [`RtrmError`] returned by the non-panicking
+//!   control-plane APIs.
 
 pub mod checkpoint;
+pub mod cluster_ctrl;
 pub mod dispatch;
 pub mod energy_sched;
+pub mod error;
 pub mod governor;
 pub mod hierarchy;
 pub mod powercap;
@@ -38,6 +45,7 @@ pub mod replay;
 pub mod scheduler;
 pub mod thermal_ctrl;
 
+pub use error::RtrmError;
 pub use governor::{Governor, GovernorKind};
 pub use powercap::PowerCapper;
 pub use scheduler::{BatchScheduler, SchedulerPolicy};

@@ -6,6 +6,7 @@
 //! "maximum power budget that can be allocated to a specific computation"
 //! from §IV.
 
+use crate::error::{check_budget_w, RtrmError};
 use antarex_obs::{Counter, Gauge, MetricsRegistry, Scope};
 use antarex_sim::node::Node;
 
@@ -86,13 +87,23 @@ pub fn try_weighted_split_observed(
 /// Estimates the node's full-activity power at a P-state index, at the
 /// node's present temperature (the quantity a RAPL controller regulates).
 pub fn estimated_power_w(node: &Node, pstate_index: usize) -> f64 {
+    estimated_power_at_temp(node, pstate_index, node.temp_c())
+}
+
+/// [`estimated_power_w`] at an explicitly supplied junction
+/// temperature. A controller behind degraded telemetry must regulate
+/// against its *sensed* (held/EWMA/assume-worst) temperature rather
+/// than reaching into ground truth — that is the difference between a
+/// model of the plant and the plant itself. Non-finite temperatures
+/// fall back to a pessimistic 95 °C so a lying sensor can only
+/// over-estimate power and back off.
+pub fn estimated_power_at_temp(node: &Node, pstate_index: usize, temp_c: f64) -> f64 {
+    let temp_c = if temp_c.is_finite() { temp_c } else { 95.0 };
     let pstate = node.spec().pstates.state(pstate_index);
-    let per_socket = node.spec().socket_power.total_w(
-        pstate,
-        1.0,
-        node.temp_c(),
-        node.variation().leakage_factor,
-    );
+    let per_socket =
+        node.spec()
+            .socket_power
+            .total_w(pstate, 1.0, temp_c, node.variation().leakage_factor);
     per_socket * node.spec().sockets as f64
 }
 
@@ -109,8 +120,13 @@ impl PowerCapper {
     ///
     /// Panics if the cap is not positive.
     pub fn new(cap_w: f64) -> Self {
-        assert!(cap_w > 0.0, "power cap must be positive");
-        PowerCapper { cap_w }
+        Self::try_new(cap_w).expect("power cap must be positive")
+    }
+
+    /// Creates a capper, rejecting non-finite or non-positive caps with
+    /// a typed error instead of panicking.
+    pub fn try_new(cap_w: f64) -> Result<Self, RtrmError> {
+        check_budget_w("power cap", cap_w).map(|cap_w| PowerCapper { cap_w })
     }
 
     /// The budget.
@@ -119,18 +135,35 @@ impl PowerCapper {
     }
 
     /// Updates the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cap is not positive.
     pub fn set_cap(&mut self, cap_w: f64) {
-        assert!(cap_w > 0.0, "power cap must be positive");
-        self.cap_w = cap_w;
+        self.try_set_cap(cap_w).expect("power cap must be positive");
+    }
+
+    /// Updates the budget, rejecting invalid caps with a typed error.
+    pub fn try_set_cap(&mut self, cap_w: f64) -> Result<(), RtrmError> {
+        self.cap_w = check_budget_w("power cap", cap_w)?;
+        Ok(())
     }
 
     /// The fastest P-state whose estimated power respects the cap
     /// (index 0 if even the slowest exceeds it — the cap is then
     /// unenforceable and the caller should shed load instead).
     pub fn admissible_pstate(&self, node: &Node) -> usize {
+        self.admissible_pstate_at_temp(node, node.temp_c())
+    }
+
+    /// [`admissible_pstate`](PowerCapper::admissible_pstate) evaluated
+    /// at an explicitly sensed junction temperature — the form a
+    /// controller behind a degraded sensor channel must use (see
+    /// [`estimated_power_at_temp`]).
+    pub fn admissible_pstate_at_temp(&self, node: &Node, temp_c: f64) -> usize {
         let mut chosen = 0;
         for idx in 0..node.spec().pstates.len() {
-            if estimated_power_w(node, idx) <= self.cap_w {
+            if estimated_power_at_temp(node, idx, temp_c) <= self.cap_w {
                 chosen = idx;
             }
         }
@@ -321,6 +354,53 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cap_rejected() {
         let _ = PowerCapper::new(0.0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors_instead_of_panicking() {
+        assert!(PowerCapper::try_new(250.0).is_ok());
+        for bad in [0.0, -10.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    PowerCapper::try_new(bad),
+                    Err(RtrmError::InvalidBudget {
+                        what: "power cap",
+                        ..
+                    })
+                ),
+                "cap {bad}"
+            );
+        }
+        let mut capper = PowerCapper::new(100.0);
+        assert!(capper.try_set_cap(f64::NAN).is_err());
+        assert_eq!(capper.cap_w(), 100.0, "failed update must not corrupt");
+        assert!(capper.try_set_cap(300.0).is_ok());
+        assert_eq!(capper.cap_w(), 300.0);
+    }
+
+    #[test]
+    fn explicit_temperature_estimation_matches_and_degrades_safely() {
+        let node = Node::nominal(NodeSpec::cineca_xeon(), 0);
+        let idx = node.spec().pstates.max_index();
+        assert_eq!(
+            estimated_power_w(&node, idx),
+            estimated_power_at_temp(&node, idx, node.temp_c()),
+            "at the true temperature the two estimators coincide"
+        );
+        // hotter silicon leaks more
+        assert!(
+            estimated_power_at_temp(&node, idx, 85.0) > estimated_power_at_temp(&node, idx, 45.0)
+        );
+        // a NaN-sensed temperature is assume-worst: at least as much
+        // power as any plausible reading, so the capper backs off
+        let worst = estimated_power_at_temp(&node, idx, f64::NAN);
+        assert!(worst.is_finite());
+        assert!(worst >= estimated_power_at_temp(&node, idx, 85.0));
+        let cap = PowerCapper::new(estimated_power_at_temp(&node, idx, 45.0));
+        assert!(
+            cap.admissible_pstate_at_temp(&node, f64::NAN)
+                <= cap.admissible_pstate_at_temp(&node, 45.0)
+        );
     }
 
     #[test]

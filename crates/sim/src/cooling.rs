@@ -8,6 +8,51 @@
 //! outside air is cold enough) with a chiller whose coefficient of
 //! performance degrades as the condenser-side (ambient) temperature
 //! rises.
+//!
+//! Every public method sanitizes ambient temperature: finite inputs are
+//! clamped to the physically meaningful [`AMBIENT_MIN_C`]..[`AMBIENT_MAX_C`]
+//! band; NaN/∞ fall back to assume-worst ([`AMBIENT_MAX_C`]) so a lying
+//! weather sensor can only shrink the budget, never blow the cap. The
+//! `try_` variants return [`SimError`] instead for callers that want to
+//! reject bad telemetry explicitly.
+
+use crate::error::SimError;
+
+/// Coldest ambient temperature the models accept, °C.
+pub const AMBIENT_MIN_C: f64 = -40.0;
+/// Hottest ambient temperature the models accept, °C — also the
+/// assume-worst fallback for non-finite readings.
+pub const AMBIENT_MAX_C: f64 = 60.0;
+
+/// Clamps a finite ambient reading into the accepted band; non-finite
+/// readings fall back to assume-worst ([`AMBIENT_MAX_C`]).
+pub fn sanitize_ambient_c(ambient_c: f64) -> f64 {
+    if ambient_c.is_finite() {
+        ambient_c.clamp(AMBIENT_MIN_C, AMBIENT_MAX_C)
+    } else {
+        AMBIENT_MAX_C
+    }
+}
+
+/// Validates an ambient reading: non-finite or out-of-band values are a
+/// typed [`SimError`].
+pub fn check_ambient_c(ambient_c: f64) -> Result<f64, SimError> {
+    if !ambient_c.is_finite() {
+        return Err(SimError::NonFinite {
+            what: "ambient temperature",
+            value: ambient_c,
+        });
+    }
+    if !(AMBIENT_MIN_C..=AMBIENT_MAX_C).contains(&ambient_c) {
+        return Err(SimError::OutOfRange {
+            what: "ambient temperature",
+            value: ambient_c,
+            min: AMBIENT_MIN_C,
+            max: AMBIENT_MAX_C,
+        });
+    }
+    Ok(ambient_c)
+}
 
 /// Cooling-plant parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,8 +85,11 @@ impl CoolingPlant {
     }
 
     /// Chiller coefficient of performance at the given ambient
-    /// temperature (∞ is never returned; COP is clamped to `[1, 20]`).
+    /// temperature (∞ is never returned; COP is clamped to `[1, 20]`,
+    /// so the efficiency stays finite even near the free-cooling
+    /// crossover where the temperature lift collapses).
     pub fn chiller_cop(&self, ambient_c: f64) -> f64 {
+        let ambient_c = sanitize_ambient_c(ambient_c);
         let t_cold = self.chw_supply_c + 273.15;
         // condenser runs ~10 °C above ambient
         let t_hot = ambient_c + 10.0 + 273.15;
@@ -49,18 +97,67 @@ impl CoolingPlant {
         (self.chiller_carnot_fraction * t_cold / lift).clamp(1.0, 20.0)
     }
 
+    /// Non-IT facility power as a fraction of IT power at the given
+    /// ambient temperature (fans + chiller share + distribution). In
+    /// this linear plant model the fraction is load-independent, which
+    /// makes it the natural currency for budget arithmetic:
+    /// `facility_power = it_power · (1 + overhead_fraction)`.
+    pub fn overhead_fraction(&self, ambient_c: f64) -> f64 {
+        let ambient_c = sanitize_ambient_c(ambient_c);
+        let chiller_share = ((ambient_c - self.free_cooling_limit_c) / 10.0).clamp(0.0, 1.0);
+        let chiller = chiller_share / self.chiller_cop(ambient_c);
+        self.free_cooling_overhead + chiller + self.distribution_overhead
+    }
+
+    /// Validating variant of [`overhead_fraction`](Self::overhead_fraction):
+    /// rejects non-finite or out-of-band ambient readings instead of
+    /// assuming worst.
+    pub fn try_overhead_fraction(&self, ambient_c: f64) -> Result<f64, SimError> {
+        check_ambient_c(ambient_c).map(|a| self.overhead_fraction(a))
+    }
+
+    /// The IT power that fits under a total facility cap at the given
+    /// ambient temperature: `cap / (1 + overhead_fraction)`. A hot
+    /// afternoon raises the cooling overhead, so the same facility cap
+    /// buys less compute.
+    pub fn it_budget_w(&self, facility_cap_w: f64, ambient_c: f64) -> f64 {
+        let cap = if facility_cap_w.is_finite() {
+            facility_cap_w.max(0.0)
+        } else {
+            0.0
+        };
+        cap / (1.0 + self.overhead_fraction(ambient_c))
+    }
+
+    /// Validating variant of [`it_budget_w`](Self::it_budget_w).
+    pub fn try_it_budget_w(&self, facility_cap_w: f64, ambient_c: f64) -> Result<f64, SimError> {
+        if !facility_cap_w.is_finite() {
+            return Err(SimError::NonFinite {
+                what: "facility cap",
+                value: facility_cap_w,
+            });
+        }
+        if facility_cap_w <= 0.0 {
+            return Err(SimError::NonPositive {
+                what: "facility cap",
+                value: facility_cap_w,
+            });
+        }
+        check_ambient_c(ambient_c).map(|a| self.it_budget_w(facility_cap_w, a))
+    }
+
     /// Cooling power drawn to remove `it_power_w` of heat at the given
     /// ambient temperature.
     pub fn cooling_power_w(&self, it_power_w: f64, ambient_c: f64) -> f64 {
+        let ambient_c = sanitize_ambient_c(ambient_c);
         if ambient_c <= self.free_cooling_limit_c {
             return it_power_w * self.free_cooling_overhead;
         }
         // partial free cooling tapers off linearly over a 10 °C band
         let chiller_share = ((ambient_c - self.free_cooling_limit_c) / 10.0).clamp(0.0, 1.0);
-        let free_share = 1.0 - chiller_share;
         let chiller_power = it_power_w * chiller_share / self.chiller_cop(ambient_c);
         let fan_power = it_power_w * self.free_cooling_overhead;
-        chiller_power + fan_power + free_share * 0.0
+        chiller_power + fan_power
     }
 
     /// Power usage effectiveness at the given ambient temperature:
@@ -88,6 +185,20 @@ pub fn ambient_temp_c(day_of_year: u32) -> f64 {
 pub const WINTER_DAY: u32 = 15;
 /// Representative summer day (mid-July).
 pub const SUMMER_DAY: u32 = 196;
+
+/// Ambient temperature during a heat-wave afternoon: ramps smoothly
+/// from `start_c` to `peak_c` over `ramp_s` seconds (smoothstep, so the
+/// controller sees a continuous derivative), then holds the peak.
+pub fn heat_wave_ambient_c(time_s: f64, start_c: f64, peak_c: f64, ramp_s: f64) -> f64 {
+    let start_c = sanitize_ambient_c(start_c);
+    let peak_c = sanitize_ambient_c(peak_c);
+    if !time_s.is_finite() || !ramp_s.is_finite() || ramp_s <= 0.0 {
+        return peak_c;
+    }
+    let x = (time_s / ramp_s).clamp(0.0, 1.0);
+    let s = x * x * (3.0 - 2.0 * x);
+    start_c + (peak_c - start_c) * s
+}
 
 #[cfg(test)]
 mod tests {
@@ -141,5 +252,112 @@ mod tests {
     fn pue_of_zero_it_power_is_infinite() {
         let plant = CoolingPlant::european_datacenter();
         assert!(plant.pue(0.0, 20.0).is_infinite());
+    }
+
+    #[test]
+    fn non_finite_ambient_assumes_worst() {
+        let plant = CoolingPlant::european_datacenter();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                plant.overhead_fraction(bad),
+                plant.overhead_fraction(AMBIENT_MAX_C)
+            );
+            assert_eq!(plant.chiller_cop(bad), plant.chiller_cop(AMBIENT_MAX_C));
+            assert_eq!(
+                plant.cooling_power_w(1e6, bad),
+                plant.cooling_power_w(1e6, AMBIENT_MAX_C)
+            );
+            assert!(plant.try_overhead_fraction(bad).is_err());
+        }
+        // sub-zero and absurd ambients clamp instead of extrapolating
+        assert_eq!(
+            plant.overhead_fraction(-200.0),
+            plant.overhead_fraction(AMBIENT_MIN_C)
+        );
+        assert_eq!(
+            plant.overhead_fraction(500.0),
+            plant.overhead_fraction(AMBIENT_MAX_C)
+        );
+        assert!(plant.try_overhead_fraction(-200.0).is_err());
+        assert!(plant.try_overhead_fraction(20.0).is_ok());
+    }
+
+    #[test]
+    fn it_budget_rejects_bad_caps() {
+        let plant = CoolingPlant::european_datacenter();
+        assert!(plant.try_it_budget_w(f64::NAN, 20.0).is_err());
+        assert!(plant.try_it_budget_w(0.0, 20.0).is_err());
+        assert!(plant.try_it_budget_w(-5.0, 20.0).is_err());
+        assert!(plant.try_it_budget_w(1e6, f64::NAN).is_err());
+        let ok = plant.try_it_budget_w(1e6, 20.0).unwrap();
+        assert!(ok > 0.0 && ok < 1e6);
+        // assume-worst fallback in the plain method
+        assert_eq!(plant.it_budget_w(f64::NAN, 20.0), 0.0);
+        assert_eq!(
+            plant.it_budget_w(1e6, f64::NAN),
+            plant.it_budget_w(1e6, AMBIENT_MAX_C)
+        );
+    }
+
+    /// Property: over the full accepted ambient band (including the
+    /// free-cooling crossover at 14 °C and the taper knee at 24 °C),
+    /// efficiency stays finite and monotone — overhead never decreases
+    /// with ambient, COP never increases, and the usable IT budget under
+    /// a fixed cap never grows on a hotter day.
+    #[test]
+    fn efficiency_is_finite_and_monotone_over_ambient_sweep() {
+        let plant = CoolingPlant::european_datacenter();
+        let cap = 1.6e6;
+        let mut prev_overhead = f64::NEG_INFINITY;
+        let mut prev_cop = f64::INFINITY;
+        let mut prev_budget = f64::INFINITY;
+        let mut a = AMBIENT_MIN_C;
+        while a <= AMBIENT_MAX_C {
+            let overhead = plant.overhead_fraction(a);
+            let cop = plant.chiller_cop(a);
+            let budget = plant.it_budget_w(cap, a);
+            let pue = plant.pue(1e6, a);
+            assert!(
+                overhead.is_finite() && overhead >= 0.0,
+                "overhead at {a}: {overhead}"
+            );
+            assert!((1.0..=20.0).contains(&cop), "cop at {a}: {cop}");
+            assert!(
+                budget.is_finite() && budget > 0.0,
+                "budget at {a}: {budget}"
+            );
+            assert!(pue.is_finite() && pue >= 1.0, "pue at {a}: {pue}");
+            assert!(overhead >= prev_overhead - 1e-12, "overhead dips at {a}");
+            assert!(cop <= prev_cop + 1e-12, "cop rises at {a}");
+            assert!(budget <= prev_budget + 1e-9, "budget grows at {a}");
+            prev_overhead = overhead;
+            prev_cop = cop;
+            prev_budget = budget;
+            a += 0.125;
+        }
+    }
+
+    #[test]
+    fn heat_wave_ramp_is_smooth_and_bounded() {
+        let (start, peak, ramp) = (14.0, 33.0, 5400.0);
+        assert_eq!(heat_wave_ambient_c(0.0, start, peak, ramp), start);
+        assert_eq!(heat_wave_ambient_c(ramp, start, peak, ramp), peak);
+        assert_eq!(heat_wave_ambient_c(ramp * 3.0, start, peak, ramp), peak);
+        let mut prev = start;
+        let mut t = 0.0;
+        while t <= ramp {
+            let a = heat_wave_ambient_c(t, start, peak, ramp);
+            assert!((start..=peak).contains(&a));
+            assert!(a >= prev - 1e-12, "ramp must be monotone");
+            prev = a;
+            t += 30.0;
+        }
+        // degenerate inputs collapse to the (sanitized) peak
+        assert_eq!(heat_wave_ambient_c(f64::NAN, start, peak, ramp), peak);
+        assert_eq!(heat_wave_ambient_c(100.0, start, peak, 0.0), peak);
+        assert_eq!(
+            heat_wave_ambient_c(ramp, start, f64::NAN, ramp),
+            AMBIENT_MAX_C
+        );
     }
 }

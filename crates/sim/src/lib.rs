@@ -48,6 +48,7 @@ pub mod cluster;
 pub mod cooling;
 pub mod des;
 pub mod dvfs;
+pub mod error;
 pub mod faults;
 pub mod interconnect;
 pub mod job;
@@ -61,4 +62,5 @@ pub mod workload;
 pub use cluster::Cluster;
 pub use des::EventQueue;
 pub use dvfs::{PState, PStateTable};
+pub use error::SimError;
 pub use node::{ExecOutcome, Node, NodeSpec};

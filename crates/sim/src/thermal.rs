@@ -6,6 +6,8 @@
 //! integration exact for piecewise-constant power, so long executions can
 //! be stepped coarsely without drift.
 
+use crate::error::SimError;
+
 /// RC thermal parameters and state of one node.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalModel {
@@ -24,13 +26,44 @@ impl ThermalModel {
     ///
     /// Panics unless resistance and capacitance are positive.
     pub fn new(resistance_c_per_w: f64, capacitance_j_per_c: f64, env_temp_c: f64) -> Self {
-        assert!(resistance_c_per_w > 0.0, "resistance must be positive");
-        assert!(capacitance_j_per_c > 0.0, "capacitance must be positive");
-        ThermalModel {
+        Self::try_new(resistance_c_per_w, capacitance_j_per_c, env_temp_c)
+            .expect("valid thermal parameters")
+    }
+
+    /// Creates a model at thermal equilibrium with `env_temp_c`,
+    /// rejecting non-finite or non-positive parameters with a typed
+    /// error instead of panicking.
+    pub fn try_new(
+        resistance_c_per_w: f64,
+        capacitance_j_per_c: f64,
+        env_temp_c: f64,
+    ) -> Result<Self, SimError> {
+        for (what, value) in [
+            ("thermal resistance", resistance_c_per_w),
+            ("thermal capacitance", capacitance_j_per_c),
+            ("environment temperature", env_temp_c),
+        ] {
+            if !value.is_finite() {
+                return Err(SimError::NonFinite { what, value });
+            }
+        }
+        if resistance_c_per_w <= 0.0 {
+            return Err(SimError::NonPositive {
+                what: "thermal resistance must be positive",
+                value: resistance_c_per_w,
+            });
+        }
+        if capacitance_j_per_c <= 0.0 {
+            return Err(SimError::NonPositive {
+                what: "thermal capacitance must be positive",
+                value: capacitance_j_per_c,
+            });
+        }
+        Ok(ThermalModel {
             resistance_c_per_w,
             capacitance_j_per_c,
             temp_c: env_temp_c,
-        }
+        })
     }
 
     /// A server-node heatsink: 0.25 °C/W and a ≈50 s time constant.
@@ -50,8 +83,14 @@ impl ThermalModel {
 
     /// Advances the model by `dt` seconds with constant `power_w` and
     /// environment `env_temp_c` (exact exponential update).
+    ///
+    /// Non-finite or negative inputs leave the state untouched and
+    /// return the current temperature — a single NaN power sample must
+    /// not poison the junction state for the rest of the run.
     pub fn step(&mut self, power_w: f64, env_temp_c: f64, dt: f64) -> f64 {
-        debug_assert!(dt >= 0.0);
+        if !power_w.is_finite() || !env_temp_c.is_finite() || !dt.is_finite() || dt < 0.0 {
+            return self.temp_c;
+        }
         let target = self.steady_state_c(power_w, env_temp_c);
         let tau = self.resistance_c_per_w * self.capacitance_j_per_c;
         let decay = (-dt / tau).exp();
@@ -127,5 +166,31 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn invalid_params_rejected() {
         let _ = ThermalModel::new(0.0, 100.0, 25.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_parameters_with_typed_errors() {
+        assert!(ThermalModel::try_new(0.25, 200.0, 25.0).is_ok());
+        assert!(ThermalModel::try_new(0.0, 200.0, 25.0).is_err());
+        assert!(ThermalModel::try_new(-1.0, 200.0, 25.0).is_err());
+        assert!(ThermalModel::try_new(0.25, 0.0, 25.0).is_err());
+        assert!(ThermalModel::try_new(f64::NAN, 200.0, 25.0).is_err());
+        assert!(ThermalModel::try_new(0.25, f64::INFINITY, 25.0).is_err());
+        assert!(ThermalModel::try_new(0.25, 200.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn nan_inputs_do_not_poison_the_junction_state() {
+        let mut model = ThermalModel::server_node(25.0);
+        model.step(180.0, 25.0, 60.0);
+        let before = model.temp_c();
+        assert_eq!(model.step(f64::NAN, 25.0, 10.0), before);
+        assert_eq!(model.step(180.0, f64::NAN, 10.0), before);
+        assert_eq!(model.step(180.0, 25.0, f64::NAN), before);
+        assert_eq!(model.step(180.0, 25.0, -5.0), before);
+        assert!(model.temp_c().is_finite());
+        // a good sample afterwards resumes the exact trajectory
+        let t = model.step(180.0, 25.0, 10.0);
+        assert!(t.is_finite() && t > before);
     }
 }
