@@ -1,22 +1,27 @@
-//! Host-parallel docking: real threads, dynamic self-scheduling.
+//! Host-parallel docking on the deterministic work-stealing plan.
 //!
 //! The dispatch experiments (U1) study load balancing on the *simulated*
-//! cluster; this module demonstrates the same principle on the host
-//! machine: the campaign's ligands are scored on worker threads pulling
-//! from a shared atomic work counter, so a thread that drew small
-//! molecules immediately claims the next task instead of idling —
-//! dynamic self-scheduling in the flesh.
+//! cluster; this module runs the same principle on the host machine.
+//! The campaign is first *planned* by
+//! [`antarex_sim::sched::steal_schedule`] over each ligand's
+//! [`estimated_flops`] — a pure, seeded discrete-event simulation whose
+//! stealing decisions depend only on the estimates — and the resulting
+//! per-core job lists then execute on real threads. Heavy scaffolds
+//! migrate to idle cores in the plan, so threads finish together, yet
+//! the plan (and therefore the result) is byte-identical at any thread
+//! count: determinism comes from planning, balance from stealing.
 
 use super::molecule::{Ligand, Pocket};
 use super::pipeline::DockingResult;
-use super::scoring::dock_ligand;
+use super::scoring::{dock_ligand, estimated_flops};
+use antarex_sim::sched::steal_schedule;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Scores `library` against `pocket` on `workers` threads with dynamic
-/// self-scheduling. Results are identical to the sequential
+/// Scores `library` against `pocket` on `workers` threads following a
+/// deterministic work-stealing plan over per-ligand flops estimates.
+/// Results are identical to the sequential
 /// [`DockingCampaign::run`](super::pipeline::DockingCampaign::run) with
 /// the same seed (per-ligand RNG streams are independent of scheduling).
 ///
@@ -32,30 +37,41 @@ pub fn run_parallel(
 ) -> DockingResult {
     assert!(workers > 0, "need at least one worker");
     assert!(poses > 0, "need at least one pose");
-    let cursor = AtomicUsize::new(0);
-    let results = Mutex::new(Vec::with_capacity(library.len()));
-    let total = AtomicU64::new(0);
+    let estimates: Vec<f64> = library
+        .iter()
+        .map(|ligand| estimated_flops(ligand, pocket, poses))
+        .collect();
+    // estimated flops ARE the costs here — planning needs relative
+    // weight only, and the law is exact for docking
+    let plan = steal_schedule(&estimates, &estimates, workers);
+    let mut lanes: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for (job, &core) in plan.assignments.iter().enumerate() {
+        lanes[core].push(job);
+    }
 
+    let results = Mutex::new(Vec::with_capacity(library.len()));
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(ligand) = library.get(idx) else {
-                    break;
-                };
-                let mut rng = StdRng::seed_from_u64(seed ^ (ligand.id.wrapping_mul(0x9e37_79b9)));
-                let score = dock_ligand(ligand, pocket, poses, &mut rng);
-                total.fetch_add(score.interactions, Ordering::Relaxed);
-                results.lock().expect("no poisoned workers").push(score);
+        for lane in &lanes {
+            let results = &results;
+            scope.spawn(move || {
+                let mut scored = Vec::with_capacity(lane.len());
+                for &idx in lane {
+                    let ligand = &library[idx];
+                    let mut rng =
+                        StdRng::seed_from_u64(seed ^ (ligand.id.wrapping_mul(0x9e37_79b9)));
+                    scored.push(dock_ligand(ligand, pocket, poses, &mut rng));
+                }
+                results.lock().expect("no poisoned workers").extend(scored);
             });
         }
     });
 
     let mut scores = results.into_inner().expect("no poisoned workers");
     scores.sort_by_key(|s| s.ligand_id);
+    let total_interactions = scores.iter().map(|s| s.interactions).sum();
     DockingResult {
         scores,
-        total_interactions: total.into_inner(),
+        total_interactions,
     }
 }
 
@@ -92,6 +108,32 @@ mod tests {
         let mut ids: Vec<u64> = result.scores.iter().map(|s| s.ligand_id).collect();
         ids.dedup();
         assert_eq!(ids.len(), 101);
+    }
+
+    #[test]
+    fn the_plan_balances_a_scaffold_sorted_library() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let pocket = generate_pocket(25, &mut rng);
+        let mut library = generate_library(200, 24, &mut rng);
+        // adversarial order: whole scaffolds of whales up front, the
+        // exact shape that starves a static block partition
+        library.sort_by_key(|l| std::cmp::Reverse(l.size()));
+        let estimates: Vec<f64> = library
+            .iter()
+            .map(|l| estimated_flops(l, &pocket, 8))
+            .collect();
+        let plan = steal_schedule(&estimates, &estimates, 4);
+        let mut per_core = [0.0f64; 4];
+        for (job, &core) in plan.assignments.iter().enumerate() {
+            per_core[core] += estimates[job];
+        }
+        let heaviest = per_core.iter().fold(0.0f64, |a, &b| a.max(b));
+        let lightest = per_core.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(
+            heaviest < 1.25 * lightest,
+            "stealing plan left cores imbalanced: {per_core:?}"
+        );
+        assert!(plan.stats.steals > 0, "sorted tail must trigger steals");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! | ad1 | —     | SLO front door: admission tiers, overload shedding, virtual autoscaling |
 //! | v1 | —      | metered bytecode VM: engine equivalence, fused meters, code-cache replay |
 //! | cl1 | §V    | fault-tolerant cluster RTRM: 4096-node hierarchy under a fault storm |
+//! | d1 | §VII-a | work-stealing scheduler at drug-discovery scale: 10⁶ heavy-tailed docking tasks |
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -43,6 +44,7 @@ pub mod admission_exp;
 pub mod chaos_exp;
 pub mod claims;
 pub mod cluster_exp;
+pub mod docking_exp;
 pub mod figures;
 pub mod obs_exp;
 pub mod resiliency;
@@ -184,6 +186,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "cluster RTRM — fault-tolerant hierarchy holds the cap through a fault storm",
             run: cluster_exp::cl1_cluster_rtrm,
         },
+        Experiment {
+            id: "d1",
+            title: "§VII-a scale — deterministic work stealing over a million-ligand screen",
+            run: docking_exp::d1_docking_scale,
+        },
     ]
 }
 
@@ -255,7 +262,7 @@ mod tests {
                 assert_ne!(a.id, b.id);
             }
         }
-        assert_eq!(experiments.len(), 24);
+        assert_eq!(experiments.len(), 25);
     }
 
     #[test]

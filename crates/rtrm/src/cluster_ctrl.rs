@@ -607,7 +607,10 @@ mod tests {
         assert_eq!(view.first_crash_in(node, t + 1e-9, t + 1e-6), None);
         let back = view.down_until(node, t);
         assert!(back > t, "repair strictly after crash");
-        assert!(view.crashes_match_schedule(&schedule), "every crash indexed");
+        assert!(
+            view.crashes_match_schedule(&schedule),
+            "every crash indexed"
+        );
         assert!(!view.node_alive(node, (t + back.min(t + 1e9)) / 2.0));
     }
 

@@ -61,6 +61,14 @@ pub enum ServeError {
         /// `Eq`).
         retry_after_ms: u64,
     },
+    /// A caller-supplied configuration violates a construction
+    /// contract (zero workers, zero capacity, zero virtual cores). The
+    /// legacy constructors still panic; the `try_` paths surface this
+    /// instead so embedding callers can keep the process up.
+    InvalidConfig {
+        /// The violated contract, stated as the legacy panic message.
+        reason: &'static str,
+    },
 }
 
 impl ServeError {
@@ -82,7 +90,8 @@ impl ServeError {
             | ServeError::TenantExists(_)
             | ServeError::Infeasible(_)
             | ServeError::EmptyKnowledge(_)
-            | ServeError::AdmissionRejected { .. } => false,
+            | ServeError::AdmissionRejected { .. }
+            | ServeError::InvalidConfig { .. } => false,
         }
     }
 
@@ -148,6 +157,9 @@ impl fmt::Display for ServeError {
                      retry after {retry_after_ms} ms"
                 )
             }
+            ServeError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
         }
     }
 }
@@ -180,6 +192,13 @@ mod tests {
         };
         assert!(rejected.to_string().contains("tenant 11"));
         assert!(rejected.to_string().contains("retry after 5000 ms"));
+        assert_eq!(
+            ServeError::InvalidConfig {
+                reason: "pool needs at least one worker"
+            }
+            .to_string(),
+            "invalid configuration: pool needs at least one worker"
+        );
     }
 
     #[test]
@@ -199,6 +218,13 @@ mod tests {
             }
             .is_retryable(),
             "a shedding controller must not be retried blind"
+        );
+        assert!(
+            !ServeError::InvalidConfig {
+                reason: "need at least one virtual worker"
+            }
+            .is_retryable(),
+            "misconfiguration never clears on its own"
         );
     }
 

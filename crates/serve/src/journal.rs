@@ -29,7 +29,7 @@ use crate::admission::{AdmissionController, TenantAdmission};
 use crate::autoscale::{Autoscaler, AutoscalerState};
 use crate::breaker::{BreakerBank, CircuitBreaker};
 use crate::cache::{DesignKey, DesignPointCache, Metrics};
-use crate::store::{mix64, Session, SessionStore, TenantId};
+use crate::store::{mix64, Session, SessionStore, TenantClass, TenantId};
 use antarex_tuner::manager::AppManager;
 use antarex_tuner::Configuration;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,6 +46,8 @@ pub enum JournalEntry {
         tenant: TenantId,
         /// Its workload features.
         features: Vec<f64>,
+        /// Its workload class (scheduler policy + metric bucket).
+        class: TenantClass,
     },
     /// The tenant's manager ran one `select()` during request
     /// admission (deploys/updates its current configuration).
@@ -288,10 +290,14 @@ pub fn replay<F>(
     let breaker_on = breakers.config().failure_threshold > 0;
     for entry in entries {
         match entry {
-            JournalEntry::Register { tenant, features } => {
+            JournalEntry::Register {
+                tenant,
+                features,
+                class,
+            } => {
                 let _ = store.insert(
                     *tenant,
-                    Session::new(make_manager(*tenant), features.clone()),
+                    Session::classed(make_manager(*tenant), features.clone(), *class),
                 );
             }
             JournalEntry::Select { tenant } => {
@@ -415,6 +421,7 @@ mod tests {
             JournalEntry::Register {
                 tenant: 3,
                 features: vec![1.0],
+                class: TenantClass::Generic,
             },
             JournalEntry::Select { tenant: 3 },
             JournalEntry::CacheInsert {
@@ -475,6 +482,7 @@ mod tests {
         run(JournalEntry::Register {
             tenant: 7,
             features: vec![2.0],
+            class: TenantClass::Docking,
         });
         run(JournalEntry::Select { tenant: 7 });
         run(JournalEntry::Learn {

@@ -39,6 +39,13 @@
 //!   seeded per-tenant Poisson arrivals merged into batch windows;
 //! * [`nav`] — the navigation use case wired through the service as a
 //!   real evaluator;
+//! * [`docking`] — the drug-discovery use case as a second **tenant
+//!   class**: probes dock real synthetic ligands with heavy-tailed
+//!   `atoms × spheres × poses` costs, and the pool's deterministic
+//!   **work-stealing scheduler**
+//!   ([`pool::SchedPolicy`]) rebalances the resulting
+//!   imbalance without giving up byte-identical schedules at any
+//!   physical worker count;
 //! * [`kernel`] — mini-C precision design points probed on the metered
 //!   bytecode VM, with instrumented code shared across tenants through
 //!   one [`InstrumentedCodeCache`](antarex_vm::InstrumentedCodeCache).
@@ -66,6 +73,7 @@ pub mod autoscale;
 pub mod breaker;
 pub mod cache;
 pub mod chaos;
+pub mod docking;
 pub mod driver;
 pub mod error;
 pub mod journal;
@@ -81,11 +89,12 @@ pub use autoscale::{AutoscaleConfig, Autoscaler};
 pub use breaker::{BreakerBank, BreakerConfig, CircuitBreaker};
 pub use cache::{probe_seed, DesignKey, DesignPointCache, ReferenceKey};
 pub use chaos::{ChaosConfig, HedgePolicy};
+pub use docking::{DockingEvaluator, TenantMux};
 pub use error::ServeError;
 pub use journal::{Journal, JournalEntry, Snapshot};
 pub use kernel::KernelEvaluator;
 pub use obs::ServeObs;
-pub use pool::{EvalPool, PoolConfig};
+pub use pool::{CostEstimator, EvalPool, PoolConfig, SchedConfig, SchedPolicy, SchedStats};
 pub use service::{
     BatchReport, Evaluator, FrontDoorConfig, ResilienceConfig, ServiceConfig, TuningRequest,
     TuningResponse, TuningService,

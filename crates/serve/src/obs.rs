@@ -10,6 +10,7 @@
 //! count; queueing shows up only in the `Timing`-scoped latency and
 //! makespan histograms.
 
+use crate::store::TenantClass;
 use antarex_obs::{Counter, Gauge, Histogram, ObsPlane, Scope};
 use antarex_rtrm::powercap::PowercapObs;
 
@@ -67,6 +68,11 @@ pub struct ServeObs {
     pub(crate) powercap: PowercapObs,
     pub(crate) latency: Histogram,
     pub(crate) makespan: Histogram,
+    pub(crate) sched_steals: Counter,
+    pub(crate) sched_steal_fails: Counter,
+    pub(crate) sched_queue_depth: Histogram,
+    pub(crate) class_steals: [Counter; TenantClass::COUNT],
+    pub(crate) class_makespan: [Histogram; TenantClass::COUNT],
     pub(crate) slo_latency_s: f64,
 }
 
@@ -109,6 +115,31 @@ impl ServeObs {
             powercap: PowercapObs::register(reg),
             latency: reg.histogram("serve_latency_seconds", Scope::Timing),
             makespan: reg.histogram("serve_makespan_seconds", Scope::Timing),
+            // scheduler metrics summarize the virtual schedule like the
+            // makespan does, so they share its Timing scope
+            sched_steals: reg.counter("serve_sched_steals_total", Scope::Timing),
+            sched_steal_fails: reg.counter("serve_sched_steal_fails_total", Scope::Timing),
+            sched_queue_depth: reg.histogram("serve_sched_queue_depth", Scope::Timing),
+            class_steals: TenantClass::all().map(|class| {
+                reg.counter(
+                    match class {
+                        TenantClass::Generic => "serve_sched_steals_generic_total",
+                        TenantClass::Nav => "serve_sched_steals_nav_total",
+                        TenantClass::Docking => "serve_sched_steals_docking_total",
+                    },
+                    Scope::Timing,
+                )
+            }),
+            class_makespan: TenantClass::all().map(|class| {
+                reg.histogram(
+                    match class {
+                        TenantClass::Generic => "serve_class_makespan_seconds_generic",
+                        TenantClass::Nav => "serve_class_makespan_seconds_nav",
+                        TenantClass::Docking => "serve_class_makespan_seconds_docking",
+                    },
+                    Scope::Timing,
+                )
+            }),
             slo_latency_s,
             plane,
         }
@@ -153,6 +184,21 @@ impl ServeObs {
     /// Current virtual pool capacity (workers the schedule runs on).
     pub fn pool_capacity(&self) -> f64 {
         self.pool_capacity.get()
+    }
+
+    /// Successful steal transactions in the virtual schedules so far.
+    pub fn sched_steals(&self) -> u64 {
+        self.sched_steals.get()
+    }
+
+    /// Failed steal probes (empty peer queues scanned) so far.
+    pub fn sched_steal_fails(&self) -> u64 {
+        self.sched_steal_fails.get()
+    }
+
+    /// Jobs of the given tenant class that migrated cores via a steal.
+    pub fn class_steals(&self, class: TenantClass) -> u64 {
+        self.class_steals[class.index()].get()
     }
 
     /// Checks one served response's virtual latency against the

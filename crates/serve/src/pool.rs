@@ -4,22 +4,36 @@
 //! from a shared index — real parallelism — while every observable
 //! output stays deterministic: probes are pure functions of their job,
 //! results are merged back in job order, and timing is *virtual*: a
-//! list schedule (earliest-finishing worker first, lowest index on
-//! ties) replays the batch on `workers` virtual cores using the probes'
-//! reported compute costs. The virtual makespan, not the wall clock, is
-//! what reports and tests consume, so runs are byte-identical at any
-//! physical core count.
+//! policy-selected schedule from [`antarex_sim::sched`] replays the
+//! batch on `workers` virtual cores using the probes' reported compute
+//! costs. The virtual makespan, not the wall clock, is what reports and
+//! tests consume, so runs are byte-identical at any physical core
+//! count.
+//!
+//! The default [`SchedPolicy::Static`] replays the legacy greedy list
+//! schedule (earliest-finishing worker first, lowest index on ties)
+//! bit for bit. Heavy-tailed tenant classes (drug-discovery docking)
+//! opt into [`SchedPolicy::WorkSteal`] — a deterministic work-stealing
+//! simulation whose placement runs on *estimated* costs from the pool's
+//! [`CostEstimator`] (quantized feature keys, EWMA-refined from
+//! observed probe costs) — or the [`SchedPolicy::Lpt`] placement
+//! fallback. A mixed batch resolves to the most dynamic policy among
+//! its classes.
 //!
 //! Admission control follows the shed pattern of
 //! [`antarex_apps::nav::server`]: the queue is bounded, and a batch
 //! that overflows it has its tail shed *before* any work starts rather
 //! than stalling every tenant behind it.
 
-use crate::cache::Metrics;
-use crate::store::TenantId;
+use crate::cache::{probe_seed, Metrics};
+use crate::error::ServeError;
+use crate::store::{TenantClass, TenantId};
+use antarex_sim::sched;
+pub use antarex_sim::sched::{SchedPolicy, SchedStats};
 use antarex_tuner::Configuration;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One design-point probe to evaluate.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +42,9 @@ pub struct EvalJob {
     pub id: usize,
     /// Tenant that first requested this design point.
     pub tenant: TenantId,
+    /// Workload class of the requesting tenant; selects the scheduler
+    /// policy and the metric bucket.
+    pub class: TenantClass,
     /// The knob configuration to measure.
     pub config: Configuration,
     /// Workload features the probe runs under.
@@ -64,6 +81,10 @@ pub struct BatchOutcome {
     pub shed: Vec<EvalJob>,
     /// Virtual makespan of the admitted jobs on `workers` cores.
     pub makespan_s: f64,
+    /// The policy the batch was scheduled with.
+    pub policy: SchedPolicy,
+    /// Steal/queue accounting from the virtual schedule.
+    pub stats: SchedStats,
 }
 
 /// Pool sizing.
@@ -90,32 +111,201 @@ impl PoolConfig {
         config
     }
 
+    /// Validates the sizing, returning a typed error instead of
+    /// panicking.
+    pub fn try_validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "pool needs at least one worker",
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "queue capacity must be positive",
+            });
+        }
+        Ok(())
+    }
+
     fn validate(&self) {
-        assert!(self.workers > 0, "pool needs at least one worker");
-        assert!(self.queue_capacity > 0, "queue capacity must be positive");
+        if let Err(ServeError::InvalidConfig { reason }) = self.try_validate() {
+            panic!("{}", reason);
+        }
+    }
+}
+
+/// Per-class scheduler policy selection.
+///
+/// Each tenant class resolves to its override, falling back to the
+/// default; a batch mixing classes is scheduled with the most dynamic
+/// resolved policy (work stealing > LPT > block > static), so a single
+/// heavy-tailed tenant class is enough to turn rebalancing on for the
+/// batches it appears in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedConfig {
+    /// Policy for classes without an override.
+    pub default: SchedPolicy,
+    /// Per-class overrides, indexed by [`TenantClass::index`].
+    pub per_class: [Option<SchedPolicy>; TenantClass::COUNT],
+}
+
+impl SchedConfig {
+    /// The legacy static list schedule for every class.
+    pub fn static_only() -> Self {
+        SchedConfig::default()
+    }
+
+    /// Work stealing for every class.
+    pub fn work_stealing() -> Self {
+        SchedConfig {
+            default: SchedPolicy::WorkSteal,
+            per_class: [None; TenantClass::COUNT],
+        }
+    }
+
+    /// Sets the policy override for one tenant class.
+    pub fn with_class(mut self, class: TenantClass, policy: SchedPolicy) -> Self {
+        self.per_class[class.index()] = Some(policy);
+        self
+    }
+
+    /// The policy a single class resolves to.
+    pub fn resolve(&self, class: TenantClass) -> SchedPolicy {
+        self.per_class[class.index()].unwrap_or(self.default)
+    }
+
+    /// The policy a batch of jobs resolves to: the most dynamic among
+    /// the classes present (default for an empty batch).
+    pub fn policy_for<I: IntoIterator<Item = TenantClass>>(&self, classes: I) -> SchedPolicy {
+        classes
+            .into_iter()
+            .map(|class| self.resolve(class))
+            .max_by_key(|policy| policy.dynamism())
+            .unwrap_or(self.default)
+    }
+}
+
+/// Exponentially-weighted moving-average cost predictor keyed by the
+/// quantized (configuration, features) probe seed.
+///
+/// Estimates feed *placement* decisions of the estimate-driven policies
+/// ([`SchedPolicy::Lpt`], [`SchedPolicy::WorkSteal`]); execution time
+/// in the virtual replay always uses the observed probe costs, so a bad
+/// estimate degrades balance, never correctness or determinism. The
+/// table is refined in job-id order after every batch, which keeps it a
+/// pure function of the job stream — independent of physical thread
+/// count.
+#[derive(Debug, Clone, Default)]
+pub struct CostEstimator {
+    state: Arc<Mutex<EstimatorState>>,
+}
+
+#[derive(Debug, Default)]
+struct EstimatorState {
+    table: BTreeMap<u64, f64>,
+    mean: f64,
+    observed: u64,
+}
+
+/// EWMA smoothing factor for refining cost estimates.
+const ESTIMATE_ALPHA: f64 = 0.3;
+
+impl CostEstimator {
+    /// Predicted cost for a probe key: the refined per-key EWMA, the
+    /// global mean for unseen keys, or 1.0 before any observation.
+    pub fn estimate(&self, key: u64) -> f64 {
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match state.table.get(&key) {
+            Some(&cost) => cost,
+            None if state.observed > 0 => state.mean,
+            None => 1.0,
+        }
+    }
+
+    /// Folds an observed probe cost into the per-key EWMA and the
+    /// global mean.
+    pub fn observe(&self, key: u64, cost_s: f64) {
+        let cost = cost_s.max(0.0);
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        state
+            .table
+            .entry(key)
+            .and_modify(|old| *old = ESTIMATE_ALPHA * cost + (1.0 - ESTIMATE_ALPHA) * *old)
+            .or_insert(cost);
+        state.observed += 1;
+        let n = state.observed as f64;
+        state.mean += (cost - state.mean) / n;
+    }
+
+    /// Number of distinct probe keys with a refined estimate.
+    pub fn keys(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .table
+            .len()
     }
 }
 
 /// The evaluation pool.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EvalPool {
     config: PoolConfig,
+    sched: SchedConfig,
+    estimator: CostEstimator,
 }
 
 impl EvalPool {
-    /// Creates a pool.
+    /// Creates a pool with the default static schedule.
     ///
     /// # Panics
     ///
     /// Panics if the config names zero workers or zero capacity.
     pub fn new(config: PoolConfig) -> Self {
         config.validate();
-        EvalPool { config }
+        EvalPool {
+            config,
+            sched: SchedConfig::default(),
+            estimator: CostEstimator::default(),
+        }
+    }
+
+    /// Creates a pool, returning a typed error on an invalid sizing
+    /// instead of panicking.
+    pub fn try_new(config: PoolConfig) -> Result<Self, ServeError> {
+        config.try_validate()?;
+        Ok(EvalPool {
+            config,
+            sched: SchedConfig::default(),
+            estimator: CostEstimator::default(),
+        })
+    }
+
+    /// Replaces the scheduler policy selection.
+    pub fn with_sched(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
+        self
     }
 
     /// The pool sizing.
     pub fn config(&self) -> PoolConfig {
         self.config
+    }
+
+    /// The scheduler policy selection.
+    pub fn sched(&self) -> SchedConfig {
+        self.sched
+    }
+
+    /// The pool's cost estimator (shared across clones).
+    pub fn estimator(&self) -> &CostEstimator {
+        &self.estimator
     }
 
     /// Evaluates a batch: admits up to `queue_capacity` jobs, sheds the
@@ -134,44 +324,89 @@ impl EvalPool {
     /// [`evaluate_batch`](EvalPool::evaluate_batch) with an explicit
     /// *virtual* core count for the replayed schedule — the
     /// autoscaler's entry point. Physical parallelism stays at the
-    /// configured worker count; only the virtual list schedule (and
-    /// hence completion times and makespan) follows `virtual_workers`,
-    /// so a capacity change is a pure work-content decision and the
-    /// output stays byte-identical at any physical thread count.
+    /// configured worker count; only the virtual schedule (and hence
+    /// completion times and makespan) follows `virtual_workers`, so a
+    /// capacity change is a pure work-content decision and the output
+    /// stays byte-identical at any physical thread count.
     ///
     /// # Panics
     ///
     /// Panics if `virtual_workers` is zero.
     pub fn evaluate_batch_on<F>(
         &self,
-        mut jobs: Vec<EvalJob>,
+        jobs: Vec<EvalJob>,
         virtual_workers: usize,
         probe: &F,
     ) -> BatchOutcome
     where
         F: Fn(&EvalJob) -> Evaluation + Sync,
     {
-        assert!(virtual_workers > 0, "need at least one virtual worker");
+        match self.try_evaluate_batch_on(jobs, virtual_workers, probe) {
+            Ok(outcome) => outcome,
+            Err(ServeError::InvalidConfig { reason }) => panic!("{}", reason),
+            Err(other) => panic!("{}", other),
+        }
+    }
+
+    /// [`evaluate_batch_on`](EvalPool::evaluate_batch_on) returning a
+    /// typed [`ServeError::InvalidConfig`] when `virtual_workers` is
+    /// zero instead of panicking.
+    pub fn try_evaluate_batch_on<F>(
+        &self,
+        mut jobs: Vec<EvalJob>,
+        virtual_workers: usize,
+        probe: &F,
+    ) -> Result<BatchOutcome, ServeError>
+    where
+        F: Fn(&EvalJob) -> Evaluation + Sync,
+    {
+        if virtual_workers == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "need at least one virtual worker",
+            });
+        }
         let admitted_count = jobs.len().min(self.config.queue_capacity);
         let shed = jobs.split_off(admitted_count);
         let evaluations = self.run_parallel(&jobs, probe);
-        let completions = virtual_schedule(&evaluations, virtual_workers);
-        let makespan_s = completions.iter().cloned().fold(0.0, f64::max);
+        let policy = self.sched.policy_for(jobs.iter().map(|job| job.class));
+        let costs: Vec<f64> = evaluations.iter().map(|e| e.cost_s).collect();
+        let schedule = if policy == SchedPolicy::Static {
+            // The legacy list schedule places by actual cost; skip the
+            // estimator entirely so the hot path stays unchanged.
+            sched::list_schedule(&costs, virtual_workers)
+        } else {
+            let keys: Vec<u64> = jobs
+                .iter()
+                .map(|job| probe_seed(&job.config, &job.features))
+                .collect();
+            let estimates: Vec<f64> = keys
+                .iter()
+                .map(|&key| self.estimator.estimate(key))
+                .collect();
+            let schedule = sched::schedule(policy, &costs, &estimates, virtual_workers);
+            // Refine in job-id order: deterministic at any thread count.
+            for (&key, &cost) in keys.iter().zip(&costs) {
+                self.estimator.observe(key, cost);
+            }
+            schedule
+        };
         let results = jobs
             .into_iter()
             .zip(evaluations)
-            .zip(completions)
+            .zip(schedule.completions)
             .map(|((job, evaluation), completion_s)| EvalResult {
                 job,
                 evaluation,
                 completion_s,
             })
             .collect();
-        BatchOutcome {
+        Ok(BatchOutcome {
             results,
             shed,
-            makespan_s,
-        }
+            makespan_s: schedule.makespan_s,
+            policy,
+            stats: schedule.stats,
+        })
     }
 
     /// Runs the probes on `workers` scoped threads; returns evaluations
@@ -215,26 +450,6 @@ impl EvalPool {
     }
 }
 
-/// Replays the batch on `workers` virtual cores: jobs in id order, each
-/// assigned to the earliest-available worker (lowest index on ties).
-/// Returns each job's virtual completion time.
-fn virtual_schedule(evaluations: &[Evaluation], workers: usize) -> Vec<f64> {
-    let mut busy_until = vec![0.0f64; workers.max(1)];
-    evaluations
-        .iter()
-        .map(|evaluation| {
-            let worker = busy_until
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            busy_until[worker] += evaluation.cost_s.max(0.0);
-            busy_until[worker]
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +461,7 @@ mod tests {
         EvalJob {
             id,
             tenant: id as u64,
+            class: TenantClass::Generic,
             config,
             features: vec![id as f64],
         }
@@ -359,5 +575,122 @@ mod tests {
     fn zero_virtual_workers_rejected() {
         let pool = EvalPool::new(PoolConfig::with_workers(2));
         let _ = pool.evaluate_batch_on(vec![job(0)], 0, &probe);
+    }
+
+    #[test]
+    fn try_path_returns_typed_invalid_config() {
+        let pool = EvalPool::new(PoolConfig::with_workers(2));
+        let err = pool
+            .try_evaluate_batch_on(vec![job(0)], 0, &probe)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::InvalidConfig {
+                reason: "need at least one virtual worker"
+            }
+        );
+        assert!(!err.is_retryable(), "misconfiguration never clears alone");
+        assert!(EvalPool::try_new(PoolConfig {
+            workers: 0,
+            queue_capacity: 8,
+        })
+        .is_err());
+        assert!(PoolConfig {
+            workers: 2,
+            queue_capacity: 0,
+        }
+        .try_validate()
+        .is_err());
+    }
+
+    /// Heavy-tailed probe whose cost is its id, descending — a sorted
+    /// "library" where static block partitioning piles the whales onto
+    /// core zero.
+    fn whale_probe(j: &EvalJob) -> Evaluation {
+        Evaluation {
+            metrics: Metrics::new(),
+            cost_s: (256 - j.id) as f64,
+        }
+    }
+
+    #[test]
+    fn work_stealing_rebalances_a_sorted_tail() {
+        let jobs: Vec<EvalJob> = (0..256).map(job).collect();
+        let static_pool = EvalPool::new(PoolConfig {
+            workers: 4,
+            queue_capacity: 1024,
+        })
+        .with_sched(SchedConfig {
+            default: SchedPolicy::Block,
+            per_class: [None; TenantClass::COUNT],
+        });
+        let steal_pool = EvalPool::new(PoolConfig {
+            workers: 4,
+            queue_capacity: 1024,
+        })
+        .with_sched(SchedConfig::work_stealing());
+        let blocked = static_pool.evaluate_batch(jobs.clone(), &whale_probe);
+        let stolen = steal_pool.evaluate_batch(jobs, &whale_probe);
+        assert_eq!(blocked.policy, SchedPolicy::Block);
+        assert_eq!(stolen.policy, SchedPolicy::WorkSteal);
+        assert!(
+            stolen.makespan_s < blocked.makespan_s,
+            "steal {} vs block {}",
+            stolen.makespan_s,
+            blocked.makespan_s
+        );
+        assert!(stolen.stats.steals > 0);
+    }
+
+    #[test]
+    fn stealing_outcome_is_physical_worker_invariant() {
+        let jobs: Vec<EvalJob> = (0..128).map(job).collect();
+        let outcomes: Vec<BatchOutcome> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&physical| {
+                EvalPool::new(PoolConfig {
+                    workers: physical,
+                    queue_capacity: 1024,
+                })
+                .with_sched(SchedConfig::work_stealing())
+                .evaluate_batch_on(jobs.clone(), 4, &whale_probe)
+            })
+            .collect();
+        for other in &outcomes[1..] {
+            assert_eq!(&outcomes[0], other, "schedule must not see thread count");
+        }
+    }
+
+    #[test]
+    fn mixed_batches_resolve_to_the_most_dynamic_class_policy() {
+        let sched = SchedConfig::default()
+            .with_class(TenantClass::Docking, SchedPolicy::WorkSteal)
+            .with_class(TenantClass::Nav, SchedPolicy::Static);
+        assert_eq!(
+            sched.policy_for([TenantClass::Nav, TenantClass::Generic]),
+            SchedPolicy::Static
+        );
+        assert_eq!(
+            sched.policy_for([TenantClass::Nav, TenantClass::Docking]),
+            SchedPolicy::WorkSteal
+        );
+        assert_eq!(sched.policy_for([]), SchedPolicy::Static);
+    }
+
+    #[test]
+    fn estimator_refines_toward_observed_costs() {
+        let estimator = CostEstimator::default();
+        assert_eq!(estimator.estimate(7), 1.0, "cold estimator guesses unit");
+        estimator.observe(7, 4.0);
+        assert_eq!(estimator.estimate(7), 4.0, "first observation seeds");
+        estimator.observe(7, 8.0);
+        let refined = estimator.estimate(7);
+        assert!(refined > 4.0 && refined < 8.0, "EWMA moved: {refined}");
+        assert_eq!(
+            estimator.estimate(99),
+            estimator.state.lock().unwrap().mean,
+            "unseen keys fall back to the global mean"
+        );
+        assert_eq!(estimator.keys(), 1);
     }
 }

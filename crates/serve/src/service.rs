@@ -19,8 +19,8 @@ use crate::chaos::{chaos_schedule, ChaosConfig, HedgePolicy};
 use crate::error::ServeError;
 use crate::journal::{take_snapshot, Journal, JournalEntry, Snapshot};
 use crate::obs::{ServeObs, ADAPT_SPAN_S, CACHE_PROBE_SPAN_S, LEARN_SPAN_S, SELECT_SPAN_S};
-use crate::pool::{EvalJob, EvalPool, Evaluation, PoolConfig};
-use crate::store::{Session, SessionStore, TenantId};
+use crate::pool::{EvalJob, EvalPool, Evaluation, PoolConfig, SchedConfig};
+use crate::store::{Session, SessionStore, TenantClass, TenantId};
 use antarex_obs::SpanId;
 use antarex_rtrm::checkpoint::daly_interval_s;
 use antarex_rtrm::powercap::try_weighted_split_observed;
@@ -314,6 +314,17 @@ impl<E: Evaluator> TuningService<E> {
         self
     }
 
+    /// Selects the eval pool's virtual scheduler policies (default and
+    /// per tenant class). Scheduling only shapes the virtual replay —
+    /// never which probes run or what they return — so it composes
+    /// freely with resilience, chaos, the front door, and recovery
+    /// (apply it after [`recover`](TuningService::recover); the journal
+    /// records outcomes, not placement, so replay is policy-agnostic).
+    pub fn with_scheduler(mut self, sched: SchedConfig) -> Self {
+        self.pool = self.pool.with_sched(sched);
+        self
+    }
+
     /// Rebuilds a service after a crash from its persistent state: the
     /// last snapshot (if any) plus the journal suffix in append order.
     /// `make_manager` must be the deterministic factory original
@@ -445,19 +456,38 @@ impl<E: Evaluator> TuningService<E> {
         }
     }
 
-    /// Registers a tenant with its runtime manager and workload
-    /// features.
+    /// Registers a [`TenantClass::Generic`] tenant with its runtime
+    /// manager and workload features.
     pub fn register_tenant(
         &self,
         tenant: TenantId,
         manager: AppManager,
         features: Vec<f64>,
     ) -> Result<(), ServeError> {
+        self.register_tenant_classed(tenant, TenantClass::Generic, manager, features)
+    }
+
+    /// Registers a tenant under an explicit workload class. The class
+    /// selects the scheduler policy its probes are replayed with (per
+    /// the pool's [`crate::pool::SchedConfig`]) and the
+    /// metric bucket its makespans land in; it is journaled so crash
+    /// recovery restores it exactly.
+    pub fn register_tenant_classed(
+        &self,
+        tenant: TenantId,
+        class: TenantClass,
+        manager: AppManager,
+        features: Vec<f64>,
+    ) -> Result<(), ServeError> {
         let result = self
             .store
-            .insert(tenant, Session::new(manager, features.clone()));
+            .insert(tenant, Session::classed(manager, features.clone(), class));
         if result.is_ok() {
-            self.journal_append(|| JournalEntry::Register { tenant, features });
+            self.journal_append(|| JournalEntry::Register {
+                tenant,
+                features,
+                class,
+            });
         }
         result
     }
@@ -471,7 +501,8 @@ impl<E: Evaluator> TuningService<E> {
         self.store.fold((), |(), tenant, session| {
             let _ = writeln!(
                 out,
-                "tenant {tenant}: requests={} rejected={} power={:.6} last={:?} manager={:?}",
+                "tenant {tenant}: class={} requests={} rejected={} power={:.6} last={:?} manager={:?}",
+                session.class.label(),
                 session.requests,
                 session.rejected,
                 session.power_demand_w,
@@ -589,7 +620,7 @@ impl<E: Evaluator> TuningService<E> {
                     return Err(ServeError::EmptyKnowledge(request.tenant));
                 }
                 match session.manager.select() {
-                    Some(config) => Ok((config.clone(), session.features.clone())),
+                    Some(config) => Ok((config.clone(), session.features.clone(), session.class)),
                     None => Err(ServeError::Infeasible(request.tenant)),
                 }
             });
@@ -603,7 +634,7 @@ impl<E: Evaluator> TuningService<E> {
             }
             let entry = match selected {
                 Err(e) | Ok(Err(e)) => Pending::Err(e),
-                Ok(Ok((config, features))) if tier == AdmissionTier::Degrade => {
+                Ok(Ok((config, features, _))) if tier == AdmissionTier::Degrade => {
                     // degraded tier: cache-only service. A memoized
                     // design point still answers (cheap, no pool), but
                     // the tenant gets no fresh probe — cache-miss
@@ -625,7 +656,7 @@ impl<E: Evaluator> TuningService<E> {
                         }),
                     }
                 }
-                Ok(Ok((config, features))) => {
+                Ok(Ok((config, features, class))) => {
                     let key = DesignKey::new(&config, &features);
                     if let Some(&job_id) = job_of_key.get(&key) {
                         // an earlier request in this batch already queued
@@ -643,6 +674,7 @@ impl<E: Evaluator> TuningService<E> {
                                 jobs.push(EvalJob {
                                     id: job_id,
                                     tenant: request.tenant,
+                                    class,
                                     config: config.clone(),
                                     features,
                                 });
@@ -749,6 +781,31 @@ impl<E: Evaluator> TuningService<E> {
         self.obs.retries.add(retries);
         self.obs.hedges.add(hedges);
         self.obs.makespan.record(makespan_s);
+        // scheduler accounting: batch-level, so the 25 ns hot-path
+        // budget is untouched. Stolen jobs attribute to their tenant
+        // class; per-class makespan is the latest completion among that
+        // class's jobs in the pool's (chaos-free) schedule.
+        if !outcome.results.is_empty() {
+            self.obs.sched_steals.add(outcome.stats.steals);
+            self.obs.sched_steal_fails.add(outcome.stats.steal_fails);
+            self.obs
+                .sched_queue_depth
+                .record(outcome.stats.max_queue_depth as f64);
+            for &job_id in &outcome.stats.stolen_jobs {
+                let class = outcome.results[job_id].job.class;
+                self.obs.class_steals[class.index()].inc();
+            }
+            let mut class_makespan = [f64::NEG_INFINITY; TenantClass::COUNT];
+            for result in &outcome.results {
+                let slot = &mut class_makespan[result.job.class.index()];
+                *slot = slot.max(result.completion_s);
+            }
+            for (index, &span) in class_makespan.iter().enumerate() {
+                if span.is_finite() {
+                    self.obs.class_makespan[index].record(span);
+                }
+            }
+        }
 
         // trace spans record *work content* on virtual time — a probe's
         // compute cost, a lookup's nominal cost — never queue placement,

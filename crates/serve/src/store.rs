@@ -16,6 +16,49 @@ use std::sync::Mutex;
 /// Tenant identifier: one concurrent application instance.
 pub type TenantId = u64;
 
+/// Workload class of a tenant, used to pick scheduler policy and to
+/// attribute scheduler metrics. Classes are coarse: they describe the
+/// *shape* of the tenant's probe costs, not its identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum TenantClass {
+    /// No declared shape; scheduled with the pool default policy.
+    #[default]
+    Generic,
+    /// Navigation planning (use case b): near-uniform probe costs.
+    Nav,
+    /// Drug-discovery docking (use case a): heavy-tailed probe costs
+    /// following the `atoms × pocket_spheres × poses` distribution.
+    Docking,
+}
+
+impl TenantClass {
+    /// Number of classes, for fixed-size per-class tables.
+    pub const COUNT: usize = 3;
+
+    /// Dense index for per-class tables.
+    pub fn index(self) -> usize {
+        match self {
+            TenantClass::Generic => 0,
+            TenantClass::Nav => 1,
+            TenantClass::Docking => 2,
+        }
+    }
+
+    /// Stable lowercase label for reports and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            TenantClass::Generic => "generic",
+            TenantClass::Nav => "nav",
+            TenantClass::Docking => "docking",
+        }
+    }
+
+    /// All classes in index order.
+    pub fn all() -> [TenantClass; TenantClass::COUNT] {
+        [TenantClass::Generic, TenantClass::Nav, TenantClass::Docking]
+    }
+}
+
 /// Per-tenant session state: the tenant's runtime autotuner plus the
 /// bookkeeping the service layer needs around it.
 ///
@@ -38,12 +81,20 @@ pub struct Session {
     pub power_demand_w: f64,
     /// The configuration most recently deployed for this tenant.
     pub last_config: Option<Configuration>,
+    /// Workload class: which scheduler policy and metric bucket the
+    /// tenant's probes belong to.
+    pub class: TenantClass,
 }
 
 impl Session {
-    /// Creates a session around a manager with the given workload
-    /// features.
+    /// Creates a [`TenantClass::Generic`] session around a manager with
+    /// the given workload features.
     pub fn new(manager: AppManager, features: Vec<f64>) -> Self {
+        Session::classed(manager, features, TenantClass::Generic)
+    }
+
+    /// Creates a session with an explicit workload class.
+    pub fn classed(manager: AppManager, features: Vec<f64>, class: TenantClass) -> Self {
         Session {
             manager,
             features,
@@ -51,6 +102,7 @@ impl Session {
             rejected: 0,
             power_demand_w: 0.0,
             last_config: None,
+            class,
         }
     }
 }

@@ -24,6 +24,8 @@
 //! * [`job`] / [`workload`] — tasks, jobs and the workload generators used
 //!   by the use cases (including the heavy-tailed docking sweep);
 //! * [`metrics`] — FLOPS/W and energy bookkeeping;
+//! * [`sched`] — deterministic virtual schedulers (static list, block,
+//!   LPT-by-estimate, work stealing) for heavy-tailed task batches;
 //! * [`faults`] — deterministic fault injection (node crashes, sensor
 //!   dropouts/stuck-at readings, power-rail spikes, interconnect
 //!   degradation, gray slowdowns) for the resiliency experiments.
@@ -55,6 +57,7 @@ pub mod job;
 pub mod metrics;
 pub mod node;
 pub mod power;
+pub mod sched;
 pub mod thermal;
 pub mod variability;
 pub mod workload;
