@@ -1,0 +1,126 @@
+//! Headline numbers for causal tracing + energy attribution (E1).
+//!
+//! Prints a JSON object (for `BENCH_energy_obs.json`) combining the
+//! honest *wall-clock* cost of deriving a [`TraceCtx`] on this machine
+//! with the virtual-time gates of the full-scale mixed campaign:
+//!
+//! * `trace_ctx_within_budget` — `TraceCtx::derive` stays under
+//!   `ENERGY_OBS_TRACE_BUDGET_NS` (default 25 ns), so the untraced hot
+//!   path pays only a few SplitMix64 rounds per request;
+//! * `requests_at_scale` — the campaign pushes ≥ 10⁵ requests through
+//!   the full admission → tuning → pool → VM → RTRM stack;
+//! * `conservation_exact` — Σ per-request attributed energy + idle
+//!   remainder ≡ the facility meter, exact integer nanojoules, at
+//!   every worker count of the sweep;
+//! * `worker_invariant` — the campaign digest (reports + invariant
+//!   exposition + energy ledger + Chrome trace export) is
+//!   byte-identical at 1/2/4/8 physical workers.
+//!
+//! The binary exits nonzero when any gate fails — CI publishes the
+//! JSON and gates on the exit code.
+//!
+//! Usage: `cargo run --release -p antarex-bench --bin energy_obs_bench`
+
+use antarex_bench::energy_obs::{campaign_invariance, EnergyScale};
+use antarex_obs::{Layer, SpanId, TraceCtx, TraceEvent, TraceId, TraceStore};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// ns/op of `op` over `iters` iterations.
+fn ns_per_op(iters: u64, mut op: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// A budget override from the environment, in nanoseconds.
+fn env_budget_ns(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    // wall-clock: the per-request cost tracing adds even when nothing
+    // is sampled (derivation), and the sampled-path record cost
+    let mut seq = 0u32;
+    let derive_ns = ns_per_op(20_000_000, || {
+        seq = seq.wrapping_add(1);
+        black_box(TraceCtx::derive(
+            black_box(7),
+            black_box(0x9e37_79b9),
+            black_box(11),
+            seq,
+            black_box(8),
+        ));
+    });
+    let store = TraceStore::new(1 << 20, 1);
+    let mut t = 0.0f64;
+    let record_ns = ns_per_op(1_000_000, || {
+        t += 1e-6;
+        black_box(store.record(TraceEvent {
+            trace: TraceId(42),
+            tenant: 7,
+            layer: Layer::Vm,
+            name: "bench",
+            start_s: t,
+            end_s: t + 1e-7,
+            value: 1.0,
+            span: SpanId::NONE,
+        }));
+    });
+
+    // virtual-time gates on the full-scale campaign: hardware-independent
+    let scale = EnergyScale::full();
+    let counts = [1usize, 2, 4, 8];
+    let (runs, worker_invariant) = campaign_invariance(&scale, &counts);
+    let reference = &runs[0];
+    let conservation_exact = runs.iter().all(|run| run.conserved);
+    let requests_at_scale = reference.requests >= 100_000;
+
+    let trace_budget_ns = env_budget_ns("ENERGY_OBS_TRACE_BUDGET_NS", 25.0);
+    let trace_ctx_within_budget = derive_ns <= trace_budget_ns;
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json_bool = |b: bool| if b { "true" } else { "false" };
+    println!("{{");
+    println!("  \"benchmark\": \"antarex-obs: causal tracing + energy attribution\",");
+    println!("  \"physical_cores\": {cores},");
+    println!("  \"trace_ctx_derive_ns\": {derive_ns:.1},");
+    println!("  \"trace_budget_ns\": {trace_budget_ns:.1},");
+    println!(
+        "  \"trace_ctx_within_budget\": {},",
+        json_bool(trace_ctx_within_budget)
+    );
+    println!("  \"trace_record_ns\": {record_ns:.1},");
+    println!("  \"campaign_requests\": {},", reference.requests);
+    println!("  \"campaign_served\": {},", reference.served);
+    println!("  \"requests_at_scale\": {},", json_bool(requests_at_scale));
+    println!("  \"facility_joules\": {:.6},", reference.facility_j);
+    println!("  \"attributed_joules\": {:.6},", reference.attributed_j);
+    println!("  \"idle_joules\": {:.6},", reference.idle_j);
+    println!(
+        "  \"conservation_exact\": {},",
+        json_bool(conservation_exact)
+    );
+    println!(
+        "  \"worker_digests\": [{}],",
+        runs.iter()
+            .map(|run| format!("\"{:016x}\"", run.digest))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("  \"worker_invariant\": {},", json_bool(worker_invariant));
+    println!("  \"trace_events_retained\": {},", reference.trace_retained);
+    println!("  \"trace_events_dropped\": {}", reference.trace_dropped);
+    println!("}}");
+
+    if !(trace_ctx_within_budget && requests_at_scale && conservation_exact && worker_invariant) {
+        std::process::exit(1);
+    }
+}

@@ -35,6 +35,7 @@
 //! | v1 | —      | metered bytecode VM: engine equivalence, fused meters, code-cache replay |
 //! | cl1 | §V    | fault-tolerant cluster RTRM: 4096-node hierarchy under a fault storm |
 //! | d1 | §VII-a | work-stealing scheduler at drug-discovery scale: 10⁶ heavy-tailed docking tasks |
+//! | e1 | —      | energy observability: causal traces + per-request joules, conservation exact |
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -45,6 +46,7 @@ pub mod chaos_exp;
 pub mod claims;
 pub mod cluster_exp;
 pub mod docking_exp;
+pub mod energy_obs;
 pub mod figures;
 pub mod obs_exp;
 pub mod resiliency;
@@ -191,6 +193,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "§VII-a scale — deterministic work stealing over a million-ligand screen",
             run: docking_exp::d1_docking_scale,
         },
+        Experiment {
+            id: "e1",
+            title: "energy observability — causal traces, per-request joules, exact conservation",
+            run: energy_obs::e1_energy_observability,
+        },
     ]
 }
 
@@ -262,7 +269,7 @@ mod tests {
                 assert_ne!(a.id, b.id);
             }
         }
-        assert_eq!(experiments.len(), 25);
+        assert_eq!(experiments.len(), 26);
     }
 
     #[test]

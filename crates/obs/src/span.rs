@@ -19,6 +19,7 @@
 //! tooling; weights are per-span *self* time in integer nanoseconds so
 //! the fold is exactly reproducible.
 
+use crate::metrics::Counter;
 use antarex_tuner::intern::{intern, SymbolId};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -72,6 +73,7 @@ struct Ring {
 /// Fixed-capacity span recorder (see module docs).
 pub struct Tracer {
     ring: Mutex<Ring>,
+    dropped: Counter,
 }
 
 impl Tracer {
@@ -86,6 +88,7 @@ impl Tracer {
                 recorded: 0,
                 next_id: 1,
             }),
+            dropped: Counter::new(),
         }
     }
 
@@ -121,9 +124,22 @@ impl Tracer {
         } else {
             let head = ring.head;
             ring.slots[head] = record;
+            self.dropped.inc();
         }
         ring.head = (ring.head + 1) % ring.capacity;
         id
+    }
+
+    /// Spans lost to ring wraparound (each overwrite evicts one).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Handle to the drop counter, for adoption into a registry via
+    /// `MetricsRegistry::attach_counter` so ring saturation shows up
+    /// in the Prometheus exposition instead of staying silent.
+    pub fn dropped_counter(&self) -> &Counter {
+        &self.dropped
     }
 
     /// Total spans ever recorded (including overwritten ones).
@@ -212,6 +228,7 @@ impl std::fmt::Debug for Tracer {
         f.debug_struct("Tracer")
             .field("retained", &self.len())
             .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
             .finish()
     }
 }
@@ -247,8 +264,16 @@ mod tests {
         }
         assert_eq!(tracer.len(), 3);
         assert_eq!(tracer.recorded(), 7);
+        assert_eq!(tracer.dropped(), 4, "each overwrite counts one drop");
         let ids: Vec<u64> = tracer.spans().iter().map(|span| span.id.0).collect();
         assert_eq!(ids, vec![5, 6, 7], "oldest spans are overwritten");
+    }
+
+    #[test]
+    fn no_drops_below_capacity() {
+        let tracer = Tracer::new(8);
+        tracer.record("s", None, SpanId::NONE, 0.0, 1.0);
+        assert_eq!(tracer.dropped(), 0);
     }
 
     #[test]

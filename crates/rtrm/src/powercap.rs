@@ -241,6 +241,30 @@ pub fn try_weighted_split(budget_w: f64, weights: &[f64]) -> Option<Vec<f64>> {
     Some(weighted_split_clean(budget_w, &weights))
 }
 
+/// A stable 64-bit digest of one cap decision — the budget and the
+/// resulting per-node shares, folded bit-exactly (FNV-1a over the IEEE
+/// bit patterns). The causal-tracing pipeline records this as the
+/// payload of an `rtrm`-layer trace event, so a power split can be
+/// linked to the requests it throttled and compared across runs
+/// without serializing the whole share vector.
+pub fn split_digest(budget_w: f64, shares: &[f64]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut eat = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(budget_w.to_bits());
+    eat(shares.len() as u64);
+    for share in shares {
+        eat(share.to_bits());
+    }
+    hash
+}
+
 fn weighted_split_clean(budget_w: f64, weights: &[f64]) -> Vec<f64> {
     let floor = 0.05 * budget_w / weights.len() as f64;
     let reserve = floor * weights.len() as f64;
@@ -263,6 +287,19 @@ mod tests {
     use super::*;
     use antarex_sim::job::WorkUnit;
     use antarex_sim::node::NodeSpec;
+
+    #[test]
+    fn split_digest_is_stable_and_sensitive() {
+        let shares = weighted_split(100.0, &[1.0, 2.0, 3.0]);
+        let a = split_digest(100.0, &shares);
+        let b = split_digest(100.0, &shares);
+        assert_eq!(a, b, "digest is a pure function of the decision");
+        assert_ne!(a, split_digest(101.0, &shares), "budget changes digest");
+        let mut nudged = shares.clone();
+        nudged[0] += 1e-9;
+        assert_ne!(a, split_digest(100.0, &nudged), "bit-level sensitivity");
+        assert_ne!(split_digest(0.0, &[]), split_digest(0.0, &[0.0]));
+    }
 
     #[test]
     fn estimated_power_grows_with_pstate() {

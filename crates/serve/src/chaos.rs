@@ -126,6 +126,7 @@ pub fn evaluation_digest(evaluation: &Evaluation) -> u64 {
         eat(&value.to_bits().to_le_bytes());
     }
     eat(&evaluation.cost_s.to_bits().to_le_bytes());
+    eat(&evaluation.energy_j.to_bits().to_le_bytes());
     hash
 }
 
@@ -406,6 +407,7 @@ mod tests {
         Evaluation {
             metrics: [("latency".to_string(), cost)].into_iter().collect(),
             cost_s: cost,
+            energy_j: 0.0,
         }
     }
 
@@ -443,6 +445,7 @@ mod tests {
         let bare = Evaluation {
             metrics: Default::default(),
             cost_s: 1.0,
+            energy_j: 0.0,
         };
         assert!(!integrity_ok(
             &corrupt_evaluation(&bare),

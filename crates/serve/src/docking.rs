@@ -106,6 +106,7 @@ impl Evaluator for DockingEvaluator {
             .into_iter()
             .collect(),
             cost_s: latency_s,
+            energy_j: power_w * latency_s,
         }
     }
 }

@@ -18,9 +18,9 @@
 
 use crate::cache::probe_seed;
 use crate::pool::Evaluation;
-use crate::service::Evaluator;
+use crate::service::{Evaluator, ProbeSegment};
 use antarex_ir::cost::CostModel;
-use antarex_ir::interp::ExecEnv;
+use antarex_ir::cost::ExecStats;
 use antarex_ir::value::Value;
 use antarex_ir::{parse_program, IrError, Program};
 use antarex_precision::vars::{float_vars, set_precision};
@@ -126,11 +126,19 @@ impl KernelEvaluator {
 
     /// Runs one program over the seeded inputs, returning the scalar
     /// output and the metered statistics.
-    fn run(&self, program: Program, args: &[Value]) -> Result<(f64, ExecEnv), IrError> {
+    fn run(&self, program: Program, args: &[Value]) -> Result<(f64, ExecStats), IrError> {
         let mut vm = Vm::with_cache(program, self.cost_model.clone(), &self.cache);
-        let mut env = ExecEnv::new();
-        let value = vm.call(&self.function, args, &mut env)?;
-        Ok((scalar(&value), env))
+        let (value, stats) = vm.run_segment(&self.function, args)?;
+        Ok((scalar(&value), stats))
+    }
+
+    /// Converts one segment's metered stats to (virtual seconds,
+    /// joules) under the evaluator's calibration.
+    fn meter(&self, stats: &ExecStats, n: usize) -> (f64, f64) {
+        let latency_s = stats.cost as f64 / self.cost_per_second;
+        // power is intensity, not total work: weight FP energy per element
+        let power_w = 5.0 + self.watts_per_unit_energy * stats.flop_energy / n as f64;
+        (latency_s, power_w * latency_s)
     }
 }
 
@@ -144,6 +152,14 @@ fn scalar(value: &Value) -> f64 {
 
 impl Evaluator for KernelEvaluator {
     fn evaluate(&self, config: &Configuration, features: &[f64]) -> Evaluation {
+        self.evaluate_segmented(config, features).0
+    }
+
+    fn evaluate_segmented(
+        &self,
+        config: &Configuration,
+        features: &[f64],
+    ) -> (Evaluation, Vec<ProbeSegment>) {
         let bits = config.get_int("mantissa").unwrap_or(52).clamp(2, 52) as u8;
         let n = features.first().copied().unwrap_or(32.0).clamp(4.0, 256.0) as usize;
         // inputs derive from the design key: identical (config, features)
@@ -153,23 +169,24 @@ impl Evaluator for KernelEvaluator {
         let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let args = vec![Value::from(a), Value::from(b), Value::Int(n as i64)];
 
-        let (reference, _) = self
+        let (reference, ref_stats) = self
             .run(self.base_program(), &args)
             .expect("full-precision kernel runs");
-        let (tuned, env) = if bits < 52 {
+        let (tuned, stats) = if bits < 52 {
             self.run(self.variant(bits), &args)
                 .expect("lowered kernel runs")
         } else {
             self.run(self.base_program(), &args)
                 .expect("full-precision kernel runs")
         };
-        let stats = env.stats;
 
         let error = (tuned - reference).abs() / reference.abs().max(1e-12);
         let latency_s = stats.cost as f64 / self.cost_per_second;
         // power is intensity, not total work: weight FP energy per element
         let power_w = 5.0 + self.watts_per_unit_energy * stats.flop_energy / n as f64;
-        Evaluation {
+        let (ref_cost_s, ref_energy_j) = self.meter(&ref_stats, n);
+        let (tuned_cost_s, tuned_energy_j) = self.meter(&stats, n);
+        let evaluation = Evaluation {
             metrics: [
                 ("latency".to_string(), latency_s),
                 ("error".to_string(), error),
@@ -178,7 +195,24 @@ impl Evaluator for KernelEvaluator {
             .into_iter()
             .collect(),
             cost_s: latency_s,
-        }
+            energy_j: tuned_energy_j,
+        };
+        // the reference run is metered too, but only the tuned kernel
+        // is the probe's billable work: segments describe both for the
+        // trace, the evaluation charges the tuned run alone
+        let segments = vec![
+            ProbeSegment {
+                name: "reference",
+                cost_s: ref_cost_s,
+                energy_j: ref_energy_j,
+            },
+            ProbeSegment {
+                name: "tuned",
+                cost_s: tuned_cost_s,
+                energy_j: tuned_energy_j,
+            },
+        ];
+        (evaluation, segments)
     }
 }
 

@@ -96,7 +96,7 @@ pub use kernel::KernelEvaluator;
 pub use obs::ServeObs;
 pub use pool::{CostEstimator, EvalPool, PoolConfig, SchedConfig, SchedPolicy, SchedStats};
 pub use service::{
-    BatchReport, Evaluator, FrontDoorConfig, ResilienceConfig, ServiceConfig, TuningRequest,
-    TuningResponse, TuningService,
+    BatchReport, Evaluator, FrontDoorConfig, ProbeSegment, ResilienceConfig, ServiceConfig,
+    TuningRequest, TuningResponse, TuningService,
 };
 pub use store::{Session, SessionStore, TenantId};

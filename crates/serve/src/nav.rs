@@ -111,6 +111,7 @@ impl Evaluator for NavEvaluator {
             .into_iter()
             .collect(),
             cost_s: latency_s,
+            energy_j: power_w * latency_s,
         }
     }
 }

@@ -32,6 +32,12 @@ pub const ADAPT_SPAN_S: f64 = 100e-9;
 /// navigation workload's standard 0.5 s answer budget.
 pub const DEFAULT_SLO_LATENCY_S: f64 = 0.5;
 
+/// Default per-request energy budget (joules of attributed facility
+/// energy). Chosen well above a typical cached answer and around the
+/// cost of a heavyweight fresh probe, so burn only accumulates on
+/// genuinely expensive requests.
+pub const DEFAULT_SLO_ENERGY_J: f64 = 10.0;
+
 /// Default SLO target good fraction (99.9%).
 pub const DEFAULT_SLO_TARGET: f64 = 0.999;
 
@@ -73,7 +79,14 @@ pub struct ServeObs {
     pub(crate) sched_queue_depth: Histogram,
     pub(crate) class_steals: [Counter; TenantClass::COUNT],
     pub(crate) class_makespan: [Histogram; TenantClass::COUNT],
+    pub(crate) class_energy: [Histogram; TenantClass::COUNT],
+    pub(crate) energy_facility_nj: Counter,
+    pub(crate) energy_attributed_nj: Counter,
+    pub(crate) energy_idle_nj: Counter,
+    pub(crate) energy_windows: Counter,
+    pub(crate) energy_slo_overruns: Counter,
     pub(crate) slo_latency_s: f64,
+    pub(crate) slo_energy_j: f64,
 }
 
 impl ServeObs {
@@ -140,7 +153,25 @@ impl ServeObs {
                     Scope::Timing,
                 )
             }),
+            // attributed energy is pure work content (probe joules plus
+            // a demand-weighted overhead share) — worker-count invariant
+            class_energy: TenantClass::all().map(|class| {
+                reg.histogram(
+                    match class {
+                        TenantClass::Generic => "serve_class_energy_joules_generic",
+                        TenantClass::Nav => "serve_class_energy_joules_nav",
+                        TenantClass::Docking => "serve_class_energy_joules_docking",
+                    },
+                    inv,
+                )
+            }),
+            energy_facility_nj: reg.counter("serve_energy_facility_nj_total", inv),
+            energy_attributed_nj: reg.counter("serve_energy_attributed_nj_total", inv),
+            energy_idle_nj: reg.counter("serve_energy_idle_nj_total", inv),
+            energy_windows: reg.counter("serve_energy_windows_total", inv),
+            energy_slo_overruns: reg.counter("serve_energy_slo_overruns_total", inv),
             slo_latency_s,
+            slo_energy_j: DEFAULT_SLO_ENERGY_J,
             plane,
         }
     }
@@ -209,6 +240,39 @@ impl ServeObs {
         self.plane
             .slo
             .check_upper(tenant, "latency", self.slo_latency_s, time_s, latency_s)
+    }
+
+    /// The per-request attributed-energy budget checked per response.
+    pub fn slo_energy_j(&self) -> f64 {
+        self.slo_energy_j
+    }
+
+    /// Attributed facility energy in the tenant-class histogram for
+    /// `class` (p50/p95/p99 feed the Prometheus exposition).
+    pub fn class_energy_snapshot(&self, class: TenantClass) -> antarex_obs::HistSnapshot {
+        self.class_energy[class.index()].snapshot()
+    }
+
+    /// Energy-budget overruns recorded so far. This is the *observed*
+    /// admission signal: the front door sees it next to latency burn
+    /// but does not yet act on it.
+    pub fn energy_slo_overruns(&self) -> u64 {
+        self.energy_slo_overruns.get()
+    }
+
+    /// Checks one served response's attributed energy against the
+    /// per-request energy budget. Burn accrues in the SLO bank under
+    /// the `energy` objective — surfaced to the admission tier as an
+    /// observed (not yet acting) signal alongside latency burn.
+    pub(crate) fn check_energy_slo(&self, tenant: u64, time_s: f64, energy_j: f64) -> bool {
+        let ok = self
+            .plane
+            .slo
+            .check_upper(tenant, "energy", self.slo_energy_j, time_s, energy_j);
+        if !ok {
+            self.energy_slo_overruns.inc();
+        }
+        ok
     }
 }
 

@@ -28,6 +28,7 @@
 use crate::cache::{probe_seed, Metrics};
 use crate::error::ServeError;
 use crate::store::{TenantClass, TenantId};
+use antarex_obs::TraceCtx;
 use antarex_sim::sched;
 pub use antarex_sim::sched::{SchedPolicy, SchedStats};
 use antarex_tuner::Configuration;
@@ -49,6 +50,9 @@ pub struct EvalJob {
     pub config: Configuration,
     /// Workload features the probe runs under.
     pub features: Vec<f64>,
+    /// Causal context of the request that first demanded this probe;
+    /// [`TraceCtx::NONE`] for untraced work.
+    pub trace: TraceCtx,
 }
 
 /// What a probe reports back.
@@ -58,6 +62,10 @@ pub struct Evaluation {
     pub metrics: Metrics,
     /// Virtual compute cost of the probe, seconds.
     pub cost_s: f64,
+    /// Metered IT energy the probe spent, joules (VM `flop_energy`
+    /// rolled up through the evaluator's power model). Direct input to
+    /// per-request energy attribution.
+    pub energy_j: f64,
 }
 
 /// One merged result.
@@ -444,6 +452,7 @@ impl EvalPool {
                     .unwrap_or(Evaluation {
                         metrics: Metrics::new(),
                         cost_s: 0.0,
+                        energy_j: 0.0,
                     })
             })
             .collect()
@@ -464,6 +473,7 @@ mod tests {
             class: TenantClass::Generic,
             config,
             features: vec![id as f64],
+            trace: TraceCtx::NONE,
         }
     }
 
@@ -473,6 +483,7 @@ mod tests {
                 .into_iter()
                 .collect(),
             cost_s: 1.0,
+            energy_j: 0.5,
         }
     }
 
@@ -610,6 +621,7 @@ mod tests {
         Evaluation {
             metrics: Metrics::new(),
             cost_s: (256 - j.id) as f64,
+            energy_j: 0.0,
         }
     }
 

@@ -14,20 +14,24 @@
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionTier};
 use crate::autoscale::{AutoscaleConfig, Autoscaler};
 use crate::breaker::{BreakerBank, BreakerConfig};
-use crate::cache::{DesignKey, DesignPointCache, Metrics};
+use crate::cache::{probe_seed, DesignKey, DesignPointCache, Metrics};
 use crate::chaos::{chaos_schedule, ChaosConfig, HedgePolicy};
 use crate::error::ServeError;
 use crate::journal::{take_snapshot, Journal, JournalEntry, Snapshot};
 use crate::obs::{ServeObs, ADAPT_SPAN_S, CACHE_PROBE_SPAN_S, LEARN_SPAN_S, SELECT_SPAN_S};
 use crate::pool::{EvalJob, EvalPool, Evaluation, PoolConfig, SchedConfig};
 use crate::store::{Session, SessionStore, TenantClass, TenantId};
-use antarex_obs::SpanId;
+use antarex_obs::{
+    largest_remainder_split, nj_to_j, to_nj, EnergyModel, Layer, SpanId, TraceCtx, TraceEvent,
+    TraceId, WindowSummary,
+};
 use antarex_rtrm::checkpoint::daly_interval_s;
-use antarex_rtrm::powercap::try_weighted_split_observed;
+use antarex_rtrm::powercap::{split_digest, try_weighted_split_observed};
 use antarex_tuner::manager::AppManager;
 use antarex_tuner::Configuration;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Virtual cost of answering from the cache, seconds.
@@ -43,6 +47,20 @@ pub trait Evaluator: Sync {
     /// Measures the metrics and virtual compute cost of a
     /// configuration under the given workload features.
     fn evaluate(&self, config: &Configuration, features: &[f64]) -> Evaluation;
+
+    /// Like [`evaluate`](Evaluator::evaluate), but additionally breaks
+    /// the probe into named sub-segments for causal tracing (e.g. the
+    /// VM kernel evaluator reports its reference and tuned kernel runs
+    /// separately). The returned evaluation must be identical to what
+    /// `evaluate` yields for the same inputs. The default reports no
+    /// segments.
+    fn evaluate_segmented(
+        &self,
+        config: &Configuration,
+        features: &[f64],
+    ) -> (Evaluation, Vec<ProbeSegment>) {
+        (self.evaluate(config, features), Vec::new())
+    }
 }
 
 impl<F> Evaluator for F
@@ -52,6 +70,20 @@ where
     fn evaluate(&self, config: &Configuration, features: &[f64]) -> Evaluation {
         self(config, features)
     }
+}
+
+/// One named sub-phase of a probe, reported by
+/// [`Evaluator::evaluate_segmented`] for the VM layer of a causal
+/// trace. Purely descriptive: segments never feed back into metrics,
+/// caching, or scheduling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeSegment {
+    /// Segment label (e.g. `"reference"`, `"tuned"`).
+    pub name: &'static str,
+    /// Virtual compute cost of the segment, seconds.
+    pub cost_s: f64,
+    /// Metered energy of the segment, joules.
+    pub energy_j: f64,
 }
 
 /// Service sizing.
@@ -185,6 +217,12 @@ pub struct TuningResponse {
     pub latency_s: f64,
     /// Whether the design point came from the cache.
     pub cache_hit: bool,
+    /// Attributed facility energy of this request, joules: direct
+    /// metered probe (or lookup) energy plus a demand-weighted share
+    /// of node static and cooling overhead. Zero until the batch's
+    /// attribution pass runs; exact in integer nanojoules underneath
+    /// (see [`antarex_obs::EnergyLedger`]).
+    pub energy_j: f64,
 }
 
 /// Outcome of one request batch.
@@ -230,6 +268,12 @@ pub struct TuningService<E> {
     next_snapshot_s: Mutex<f64>,
     front_door: Option<FrontDoor>,
     obs: ServeObs,
+    energy: EnergyModel,
+    /// Monotone batch ordinal feeding trace-id derivation. Counts
+    /// served batches since process start; recovery restarts it at
+    /// zero, which renumbers traces but never changes any served
+    /// answer or attributed joule.
+    batch_ordinal: AtomicU64,
 }
 
 impl<E: Evaluator> TuningService<E> {
@@ -279,7 +323,16 @@ impl<E: Evaluator> TuningService<E> {
             next_snapshot_s: Mutex::new(interval),
             front_door: None,
             obs,
+            energy: EnergyModel::default(),
+            batch_ordinal: AtomicU64::new(0),
         }
+    }
+
+    /// Overrides the energy model attributing node static and cooling
+    /// overhead to requests (default: [`EnergyModel::default`]).
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
     }
 
     /// Injects a deterministic fault environment: probe scheduling runs
@@ -574,6 +627,26 @@ impl<E: Evaluator> TuningService<E> {
         let mut job_of_key: BTreeMap<DesignKey, usize> = BTreeMap::new();
         let mut degraded = 0usize;
         let mut admission_shed = 0usize;
+        // causal tracing: every request derives a TraceCtx from
+        // (tenant, probe seed, batch ordinal, position) — no wall
+        // clock — so trace ids are byte-identical at any worker count.
+        // One (ctx, class) row per request, aligned with `pending`.
+        let batch_ordinal = self.batch_ordinal.fetch_add(1, Ordering::Relaxed);
+        let mut req_meta: Vec<(TraceCtx, TenantClass)> = Vec::with_capacity(requests.len());
+        let record_admission = |ctx: TraceCtx, arrival_s: f64, tier_name: &'static str| {
+            if ctx.sampled {
+                self.obs.plane.trace.record(TraceEvent {
+                    trace: ctx.id,
+                    tenant: ctx.tenant,
+                    layer: Layer::Admission,
+                    name: tier_name,
+                    start_s: arrival_s,
+                    end_s: arrival_s,
+                    value: 0.0,
+                    span: SpanId::NONE,
+                });
+            }
+        };
         for request in requests {
             // the SLO front door runs first: a shed-tier tenant is
             // rejected before it costs a breaker check, a select, or
@@ -591,6 +664,14 @@ impl<E: Evaluator> TuningService<E> {
                     .as_ref()
                     .map(|fd| fd.admission.retry_after_ms(request.tenant))
                     .unwrap_or(0);
+                let ctx = self.obs.plane.trace.derive(
+                    request.tenant,
+                    0,
+                    batch_ordinal,
+                    req_meta.len() as u32,
+                );
+                record_admission(ctx, request.arrival_s, "shed");
+                req_meta.push((ctx, TenantClass::Generic));
                 pending.push(Pending::Err(ServeError::AdmissionRejected {
                     tenant: request.tenant,
                     retry_after_ms,
@@ -604,6 +685,14 @@ impl<E: Evaluator> TuningService<E> {
                     .breakers
                     .with(request.tenant, |b| b.allow(request.arrival_s))
             {
+                let ctx = self.obs.plane.trace.derive(
+                    request.tenant,
+                    0,
+                    batch_ordinal,
+                    req_meta.len() as u32,
+                );
+                record_admission(ctx, request.arrival_s, "circuit_open");
+                req_meta.push((ctx, TenantClass::Generic));
                 pending.push(Pending::Err(ServeError::CircuitOpen {
                     tenant: request.tenant,
                 }));
@@ -632,9 +721,16 @@ impl<E: Evaluator> TuningService<E> {
                     tenant: request.tenant,
                 });
             }
+            let seq = req_meta.len() as u32;
+            let mut ctx = self
+                .obs
+                .plane
+                .trace
+                .derive(request.tenant, 0, batch_ordinal, seq);
+            let mut req_class = TenantClass::Generic;
             let entry = match selected {
                 Err(e) | Ok(Err(e)) => Pending::Err(e),
-                Ok(Ok((config, features, _))) if tier == AdmissionTier::Degrade => {
+                Ok(Ok((config, features, class))) if tier == AdmissionTier::Degrade => {
                     // degraded tier: cache-only service. A memoized
                     // design point still answers (cheap, no pool), but
                     // the tenant gets no fresh probe — cache-miss
@@ -643,6 +739,13 @@ impl<E: Evaluator> TuningService<E> {
                     // shed while a coasting one recovers
                     degraded += 1;
                     self.obs.admission_degraded.inc();
+                    ctx = self.obs.plane.trace.derive(
+                        request.tenant,
+                        probe_seed(&config, &features),
+                        batch_ordinal,
+                        seq,
+                    );
+                    req_class = class;
                     let key = DesignKey::new(&config, &features);
                     match self.cache.get(&key) {
                         Some(metrics) => Pending::Hit(config, metrics),
@@ -657,6 +760,13 @@ impl<E: Evaluator> TuningService<E> {
                     }
                 }
                 Ok(Ok((config, features, class))) => {
+                    ctx = self.obs.plane.trace.derive(
+                        request.tenant,
+                        probe_seed(&config, &features),
+                        batch_ordinal,
+                        seq,
+                    );
+                    req_class = class;
                     let key = DesignKey::new(&config, &features);
                     if let Some(&job_id) = job_of_key.get(&key) {
                         // an earlier request in this batch already queued
@@ -671,12 +781,15 @@ impl<E: Evaluator> TuningService<E> {
                             Some(metrics) => Pending::Hit(config, metrics),
                             None => {
                                 let job_id = jobs.len();
+                                // the job carries the first owner's
+                                // trace: sched/VM events link to it
                                 jobs.push(EvalJob {
                                     id: job_id,
                                     tenant: request.tenant,
                                     class,
                                     config: config.clone(),
                                     features,
+                                    trace: ctx,
                                 });
                                 job_of_key.insert(key, job_id);
                                 Pending::Job {
@@ -689,6 +802,16 @@ impl<E: Evaluator> TuningService<E> {
                     }
                 }
             };
+            record_admission(
+                ctx,
+                request.arrival_s,
+                match tier {
+                    AdmissionTier::Admit => "admit",
+                    AdmissionTier::Degrade => "degrade",
+                    AdmissionTier::Shed => "shed",
+                },
+            );
+            req_meta.push((ctx, req_class));
             pending.push(entry);
         }
 
@@ -731,11 +854,25 @@ impl<E: Evaluator> TuningService<E> {
         // are pure and computed exactly once; under chaos only the
         // virtual scheduling of those evaluations changes)
         let evaluator = &self.evaluator;
+        // sampled jobs additionally report VM sub-segments for the
+        // trace; the map is keyed by job id so insertion order under
+        // physical parallelism cannot influence anything downstream
+        let segment_stash: Mutex<BTreeMap<usize, Vec<ProbeSegment>>> = Mutex::new(BTreeMap::new());
         let outcome = self
             .pool
             .evaluate_batch_on(jobs, capacity, &|job: &EvalJob| {
-                evaluator.evaluate(&job.config, &job.features)
+                if job.trace.sampled {
+                    let (evaluation, segments) =
+                        evaluator.evaluate_segmented(&job.config, &job.features);
+                    if !segments.is_empty() {
+                        lock_or_recover(&segment_stash).insert(job.id, segments);
+                    }
+                    evaluation
+                } else {
+                    evaluator.evaluate(&job.config, &job.features)
+                }
             });
+        let segment_stash = lock_or_recover(&segment_stash);
         let admitted = outcome.results.len();
         let mut retries = 0u64;
         let mut hedges = 0u64;
@@ -827,13 +964,49 @@ impl<E: Evaluator> TuningService<E> {
             )
         };
         for result in &outcome.results {
-            self.obs.plane.tracer.record(
+            let eval_span = self.obs.plane.tracer.record(
                 "eval",
                 Some(result.job.tenant),
                 batch_span,
                 batch_start_s,
                 batch_start_s + result.evaluation.cost_s,
             );
+            let ctx = result.job.trace;
+            if !ctx.sampled {
+                continue;
+            }
+            // sched layer: where the pool's virtual schedule placed the
+            // probe (completion relative to batch start, chaos-free
+            // view); value carries the probe's compute cost
+            self.obs.plane.trace.record(TraceEvent {
+                trace: ctx.id,
+                tenant: ctx.tenant,
+                layer: Layer::Sched,
+                name: "place",
+                start_s: batch_start_s,
+                end_s: batch_start_s + result.completion_s,
+                value: result.evaluation.cost_s,
+                span: eval_span,
+            });
+            // VM layer: the probe's metered sub-segments laid out
+            // sequentially on virtual time; value carries each
+            // segment's metered joules
+            if let Some(segments) = segment_stash.get(&result.job.id) {
+                let mut seg_start_s = batch_start_s;
+                for segment in segments {
+                    self.obs.plane.trace.record(TraceEvent {
+                        trace: ctx.id,
+                        tenant: ctx.tenant,
+                        layer: Layer::Vm,
+                        name: segment.name,
+                        start_s: seg_start_s,
+                        end_s: seg_start_s + segment.cost_s,
+                        value: segment.energy_j,
+                        span: eval_span,
+                    });
+                    seg_start_s += segment.cost_s;
+                }
+            }
         }
 
         // verified results are memoized; failed design points are
@@ -869,7 +1042,22 @@ impl<E: Evaluator> TuningService<E> {
         // quiet (fully shed) tenant still decays toward readmission
         let mut slo_tally: BTreeMap<TenantId, (u64, u64)> = BTreeMap::new();
         let front_door_on = self.front_door.is_some();
-        for (request, entry) in requests.iter().zip(pending) {
+        // energy attribution: one row per *served* response, carrying
+        // its direct metered nanojoules (probe energy for fresh
+        // evaluations, nominal lookup energy for cache answers). The
+        // overhead split and the ledger window close after the loop.
+        struct ServedRow {
+            index: usize,
+            tenant: TenantId,
+            class: TenantClass,
+            ctx: TraceCtx,
+            arrival_s: f64,
+            direct_nj: u64,
+        }
+        let lookup_nj = to_nj(self.energy.cache_lookup_w * CACHE_LOOKUP_S);
+        let mut served_rows: Vec<ServedRow> = Vec::new();
+        let mut cache_lookups = 0u64;
+        for (index, (request, entry)) in requests.iter().zip(pending).enumerate() {
             batch_end_s = batch_end_s.max(request.arrival_s);
             if front_door_on {
                 slo_tally.entry(request.tenant).or_default();
@@ -877,8 +1065,8 @@ impl<E: Evaluator> TuningService<E> {
             // `work_s` is the request's worker-invariant span width: the
             // probe's compute cost for a fresh evaluation, the nominal
             // lookup cost for cache answers, zero for errors
-            let (response, work_s) = match entry {
-                Pending::Err(e) => (Err(e), 0.0),
+            let (response, work_s, direct_nj) = match entry {
+                Pending::Err(e) => (Err(e), 0.0, 0u64),
                 Pending::Hit(config, metrics) => (
                     Ok(TuningResponse {
                         tenant: request.tenant,
@@ -887,8 +1075,10 @@ impl<E: Evaluator> TuningService<E> {
                         metrics,
                         latency_s: CACHE_LOOKUP_S,
                         cache_hit: true,
+                        energy_j: 0.0,
                     }),
                     CACHE_LOOKUP_S,
+                    lookup_nj,
                 ),
                 Pending::Job {
                     config,
@@ -909,16 +1099,22 @@ impl<E: Evaluator> TuningService<E> {
                                         metrics: outcome.results[job_id].evaluation.metrics.clone(),
                                         latency_s: *completion_s,
                                         cache_hit: coalesced,
+                                        energy_j: 0.0,
                                     }),
                                     if coalesced {
                                         CACHE_LOOKUP_S
                                     } else {
                                         outcome.results[job_id].evaluation.cost_s
                                     },
+                                    if coalesced {
+                                        lookup_nj
+                                    } else {
+                                        to_nj(outcome.results[job_id].evaluation.energy_j)
+                                    },
                                 )
                             }
                             // coalesced waiters share their job's fate
-                            Err(e) => (Err(e.clone()), 0.0),
+                            Err(e) => (Err(e.clone()), 0.0, 0),
                         }
                     } else {
                         (
@@ -926,6 +1122,7 @@ impl<E: Evaluator> TuningService<E> {
                                 capacity: self.pool.config().queue_capacity,
                             }),
                             0.0,
+                            0,
                         )
                     }
                 }
@@ -945,7 +1142,17 @@ impl<E: Evaluator> TuningService<E> {
                     self.obs.served.inc();
                     if answer.cache_hit {
                         self.obs.cache_hit_responses.inc();
+                        cache_lookups += 1;
                     }
+                    let (ctx, class) = req_meta[index];
+                    served_rows.push(ServedRow {
+                        index,
+                        tenant: request.tenant,
+                        class,
+                        ctx,
+                        arrival_s: arrival,
+                        direct_nj,
+                    });
                     self.obs.learns.add(metrics.len() as u64);
                     self.obs.latency.record(answer.latency_s);
                     let slo_met =
@@ -1074,6 +1281,87 @@ impl<E: Evaluator> TuningService<E> {
             responses.push(response);
         }
 
+        // 3b. close the batch's energy window. All bookkeeping is in
+        // integer nanojoules with exactly one rounding per meter
+        // reading, so Σ attributed + idle ≡ the facility meter to the
+        // last bit (the ledger re-checks the invariant per window).
+        if !requests.is_empty() {
+            // direct metered energy: every probe the pool ran (served
+            // or not) plus one nominal lookup per cache-hit answer
+            let spent_eval_nj: u64 = outcome
+                .results
+                .iter()
+                .map(|r| to_nj(r.evaluation.energy_j))
+                .sum();
+            let direct_nj = spent_eval_nj + lookup_nj * cache_lookups;
+            // node static power burns over busy *work content* — never
+            // the worker-dependent makespan — keeping the window
+            // byte-identical at any physical or virtual worker count
+            let busy_s: f64 = outcome
+                .results
+                .iter()
+                .map(|r| r.evaluation.cost_s)
+                .sum::<f64>()
+                + cache_lookups as f64 * CACHE_LOOKUP_S;
+            let static_nj = to_nj(self.energy.node_static_w * busy_s);
+            let it_nj = direct_nj + static_nj;
+            let cooling_nj = to_nj(self.energy.cooling_overhead * nj_to_j(it_nj as u128));
+            let facility_nj = it_nj + cooling_nj;
+            let overhead_nj = static_nj + cooling_nj;
+            // overhead splits across served requests proportionally to
+            // their direct demand (largest remainder, so shares sum
+            // exactly); failed probes' direct energy stays unattributed
+            let weights: Vec<u64> = served_rows.iter().map(|r| r.direct_nj).collect();
+            let shares = largest_remainder_split(overhead_nj, &weights);
+            let mut attributed_nj = 0u64;
+            let mut per_tenant: BTreeMap<TenantId, u64> = BTreeMap::new();
+            for (row, &share) in served_rows.iter().zip(&shares) {
+                let request_nj = row.direct_nj + share;
+                attributed_nj += request_nj;
+                *per_tenant.entry(row.tenant).or_default() += request_nj;
+                let energy_j = nj_to_j(request_nj as u128);
+                if let Ok(answer) = &mut responses[row.index] {
+                    answer.energy_j = energy_j;
+                }
+                self.obs.class_energy[row.class.index()].record(energy_j);
+                // observed-only SLO: burn accrues under the `energy`
+                // objective but no admission tier acts on it yet
+                let _ = self
+                    .obs
+                    .check_energy_slo(row.tenant, row.arrival_s, energy_j);
+                if row.ctx.sampled {
+                    self.obs.plane.trace.record(TraceEvent {
+                        trace: row.ctx.id,
+                        tenant: row.ctx.tenant,
+                        layer: Layer::Serve,
+                        name: "energy",
+                        start_s: row.arrival_s,
+                        end_s: row.arrival_s,
+                        value: energy_j,
+                        span: SpanId::NONE,
+                    });
+                }
+            }
+            let idle_nj = facility_nj - attributed_nj;
+            self.obs.energy_facility_nj.add(facility_nj);
+            self.obs.energy_attributed_nj.add(attributed_nj);
+            self.obs.energy_idle_nj.add(idle_nj);
+            self.obs.energy_windows.inc();
+            let per_tenant_rows: Vec<(TenantId, u64)> = per_tenant.into_iter().collect();
+            self.obs.plane.energy.record_window(
+                WindowSummary {
+                    index: batch_ordinal,
+                    requests: served_rows.len() as u64,
+                    direct_nj,
+                    overhead_nj,
+                    facility_nj,
+                    attributed_nj,
+                    idle_nj,
+                },
+                &per_tenant_rows,
+            );
+        }
+
         // 4. one adaptation round per touched tenant, sorted order
         touched.sort_unstable();
         for tenant in touched {
@@ -1176,6 +1464,19 @@ impl<E: Evaluator> TuningService<E> {
             },
         );
         let shares = try_weighted_split_observed(budget_w, &demands, &self.obs.powercap)?;
+        // RTRM layer of the causal trace: a cap decision is not tied
+        // to one request, so its trace id is the split's own digest —
+        // stable across runs, linked to requests by the shared store
+        self.obs.plane.trace.record(TraceEvent {
+            trace: TraceId(u128::from(split_digest(budget_w, &shares).max(1))),
+            tenant: 0,
+            layer: Layer::Rtrm,
+            name: "power_split",
+            start_s: 0.0,
+            end_s: 0.0,
+            value: budget_w,
+            span: SpanId::NONE,
+        });
         Some(tenants.into_iter().zip(shares).collect())
     }
 }
@@ -1240,6 +1541,7 @@ mod tests {
                 .into_iter()
                 .collect(),
                 cost_s: latency,
+                energy_j: 10.0 * level * latency,
             }
         }
     }

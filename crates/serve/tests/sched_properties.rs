@@ -9,6 +9,7 @@
 //! the *physical* worker count; and the steal order must stay total —
 //! byte-stable — when estimated loads tie exactly.
 
+use antarex_obs::TraceCtx;
 use antarex_serve::pool::{EvalJob, EvalPool, Evaluation, PoolConfig, SchedConfig};
 use antarex_serve::store::TenantClass;
 use antarex_serve::SchedPolicy;
@@ -138,6 +139,7 @@ fn pool_digest(physical: usize, virtual_workers: usize) -> String {
                 config,
                 features: vec![id as f64],
                 class: TenantClass::Docking,
+                trace: TraceCtx::NONE,
             }
         })
         .collect();
@@ -148,6 +150,7 @@ fn pool_digest(physical: usize, virtual_workers: usize) -> String {
         Evaluation {
             metrics: [("latency".to_string(), cost)].into_iter().collect(),
             cost_s: cost,
+            energy_j: 0.0,
         }
     });
     assert_eq!(outcome.policy, SchedPolicy::WorkSteal);

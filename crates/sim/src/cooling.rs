@@ -170,6 +170,20 @@ impl CoolingPlant {
         let distribution = it_power_w * self.distribution_overhead;
         (it_power_w + cooling + distribution) / it_power_w
     }
+
+    /// Facility energy drawn to deliver `it_energy_j` of IT work at the
+    /// given ambient: `it · (1 + overhead_fraction)`. Because the plant
+    /// model's overhead fraction is load-independent, energy scales the
+    /// same way power does — this is the joule-domain form the serving
+    /// tier's energy-attribution meter uses.
+    pub fn facility_energy_j(&self, it_energy_j: f64, ambient_c: f64) -> f64 {
+        let it = if it_energy_j.is_finite() {
+            it_energy_j.max(0.0)
+        } else {
+            0.0
+        };
+        it * (1.0 + self.overhead_fraction(ambient_c))
+    }
 }
 
 /// Mean daily ambient temperature (°C) for a day of the year in a
@@ -203,6 +217,18 @@ pub fn heat_wave_ambient_c(time_s: f64, start_c: f64, peak_c: f64, ramp_s: f64) 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn facility_energy_matches_overhead_fraction() {
+        let plant = CoolingPlant::european_datacenter();
+        let ambient = 20.0;
+        let facility = plant.facility_energy_j(100.0, ambient);
+        let expected = 100.0 * (1.0 + plant.overhead_fraction(ambient));
+        assert_eq!(facility, expected);
+        assert!(facility > 100.0, "overhead is strictly positive");
+        assert_eq!(plant.facility_energy_j(-5.0, ambient), 0.0);
+        assert_eq!(plant.facility_energy_j(f64::NAN, ambient), 0.0);
+    }
 
     #[test]
     fn seasons_have_the_right_shape() {

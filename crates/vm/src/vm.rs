@@ -224,6 +224,26 @@ impl Vm {
         Ok(value)
     }
 
+    /// Runs `name` as one *instrumented segment*: a fresh [`ExecEnv`]
+    /// is created for the call and its final [`ExecStats`] — `cost`,
+    /// `flops`, `flop_energy`, memory traffic — are returned alongside
+    /// the value. This is the unit of metering the cross-layer tracing
+    /// pipeline attributes energy to: one segment, one stats record,
+    /// no bleed-through from other calls on the same VM.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Vm::call`].
+    pub fn run_segment(
+        &mut self,
+        name: &str,
+        args: &[Value],
+    ) -> Result<(Value, ExecStats), IrError> {
+        let mut env = ExecEnv::new();
+        let value = self.call(name, args, &mut env)?;
+        Ok((value, env.stats))
+    }
+
     #[inline]
     fn set_prec(&mut self, bits: u8) {
         self.prec_ctx = bits;
